@@ -1,0 +1,55 @@
+"""Design-choice ablations the paper asserts in prose (no dedicated figure).
+
+* Section IV-B: Algorithm 2's ``r_i + a_i`` fallback "achieves better load
+  balancing and SLO attainment than using r_i alone" when every instance is
+  violating its SLO.
+* Section VII: a DistServe-style explicit partition of instances into
+  reasoning and answering pools "offers little benefit" because both phases
+  are decode steps with similar per-step latency — while it halves each
+  phase's memory pool and forces a transfer at every boundary.
+"""
+
+from repro.harness.experiments import (
+    ablation_alg2_fallback,
+    ablation_phase_partitioning,
+)
+
+
+def test_ablation_alg2_fallback(benchmark, record_figure):
+    result = benchmark.pedantic(
+        ablation_alg2_fallback, rounds=1, iterations=1
+    )
+    record_figure(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    stress_full = rows[("pascal", "stress")]
+    stress_ri = rows[("pascal-ri-only", "stress")]
+    # Under stress (all instances violating), the full heuristic balances
+    # load visibly better: higher throughput and lower mean/tail TTFT.
+    assert stress_full[5] >= stress_ri[5]
+    assert stress_full[3] <= stress_ri[3]
+    assert stress_full[4] <= stress_ri[4] * 1.02
+    # SLO violation rates land within a few points of each other (the
+    # paper's "better SLO attainment" is not reproducible at this scale).
+    assert abs(stress_full[2] - stress_ri[2]) < 5.0
+    # At the standard high tier the two rarely diverge (the fallback
+    # branch seldom triggers).
+    high_full = rows[("pascal", "high")]
+    high_ri = rows[("pascal-ri-only", "high")]
+    assert abs(high_full[3] - high_ri[3]) / high_full[3] < 0.10
+
+
+def test_ablation_phase_partitioning(benchmark, record_figure):
+    result = benchmark.pedantic(
+        ablation_phase_partitioning, rounds=1, iterations=1
+    )
+    record_figure(result)
+    rows = result.row_map()
+    pascal = rows["pascal"]
+    partitioned = rows["phase-partitioned"]
+    # Partitioning cannot beat PASCAL on mean TTFT: the reasoning pool is
+    # half the cluster, so reasoning decodes with half the memory.
+    assert pascal[1] <= partitioned[1] * 1.05
+    # Nor on throughput.
+    assert pascal[4] >= partitioned[4] * 0.95
+    # Partitioning migrates every single request.
+    assert partitioned[5] >= pascal[5]

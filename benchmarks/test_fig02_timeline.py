@@ -1,0 +1,26 @@
+"""Figure 2: oracle / FCFS / RR scheduling timelines (abstract time units).
+
+Three requests (arrivals t=0,1,2), GPU memory for two, RR quantum 4.  The
+paper reads off: under FCFS request C waits behind A and B (head-of-line
+blocking); under RR, C is admitted as soon as A exhausts its first quantum.
+"""
+
+from repro.harness.experiments import fig2_timeline
+
+
+def test_fig2_timeline(benchmark, record_figure):
+    result = benchmark.pedantic(fig2_timeline, rounds=1, iterations=1)
+    record_figure(result)
+    rows = result.row_map()
+    oracle_wait = rows["oracle"][1]
+    fcfs_wait = rows["fcfs"][1]
+    rr_wait = rows["rr"][1]
+    # Oracle admits immediately; RR admits C after one quantum; FCFS makes
+    # C wait for a completion.
+    assert oracle_wait == 0.0
+    assert rr_wait < fcfs_wait
+    assert fcfs_wait >= 4.0
+    # RR improves C's TTFT over FCFS, as in Figure 2(c) vs 2(b).
+    assert rows["rr"][2] < rows["fcfs"][2]
+    # Everyone still finishes; the makespans stay within 2x of oracle.
+    assert rows["fcfs"][3] <= 2 * rows["oracle"][3]

@@ -1,0 +1,69 @@
+"""Chat serving scenario: Arena-Hard across low/medium/high arrival rates.
+
+Reproduces the Section V evaluation loop in miniature: the same trace is
+replayed at three calibrated load tiers under each scheduler, and the
+per-tier TTFT distribution, answering SLO attainment and throughput are
+tabulated — the same axes as Figures 9, 11 and 12.
+
+Run:  python examples/chat_serving.py
+"""
+
+from repro import Cluster, collect
+from repro.harness.runner import EvalSettings, measured_capacity_req_per_s
+from repro.metrics.summary import percentile
+from repro.workload.datasets import ARENA_HARD
+from repro.workload.trace import TraceConfig, build_trace
+
+
+def main() -> None:
+    settings = EvalSettings(
+        n_requests=500,
+        kv_capacity_tokens=30_000,
+        trace_residency_multiple=3.0,
+    )
+    capacity = measured_capacity_req_per_s(ARENA_HARD, settings)
+    print(
+        f"Measured cluster capacity for {ARENA_HARD.name}: "
+        f"{capacity:.2f} req/s\n"
+    )
+
+    config = settings.cluster_config()
+    n_requests = settings.n_requests_for(ARENA_HARD)
+    for tier, factor in settings.load_factors:
+        rate = capacity * factor
+        print(
+            f"=== {tier} tier: {rate:.2f} req/s "
+            f"({factor:.0%} of capacity), {n_requests} requests ==="
+        )
+        for policy in ("fcfs", "rr", "pascal"):
+            trace = build_trace(
+                TraceConfig(
+                    dataset=ARENA_HARD,
+                    n_requests=n_requests,
+                    arrival_rate_per_s=rate,
+                    seed=7,
+                )
+            )
+            cluster = Cluster(config, policy=policy)
+            cluster.run_trace(trace)
+            metrics = collect(cluster)
+            ttfts = metrics.ttfts()
+            slo = metrics.slo_report(config.slo)
+            print(
+                f"  {policy:8s} meanTTFT={metrics.mean_ttft():6.1f}s "
+                f"p50={percentile(ttfts, 50):6.1f}s "
+                f"p99={percentile(ttfts, 99):7.1f}s "
+                f"SLO viol={100 * slo.violation_rate:5.2f}% "
+                f"thr={metrics.throughput_tokens_per_s:6.0f} tok/s"
+            )
+        print()
+
+    print(
+        "Higher tiers pressure GPU memory; FCFS's head-of-line blocking"
+        "\ninflates TTFT while PASCAL's phase-aware hierarchy absorbs the"
+        "\nload with the lowest tail latency and SLO violations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: serve a chat trace under FCFS, RR and PASCAL and compare.
+
+Builds an eight-instance cluster (the paper's evaluation deployment), runs
+the same AlpacaEval2.0-style trace through each scheduling policy, and
+prints the user-experience metrics the paper optimizes: mean/tail TTFT,
+answering-phase SLO violations, and serving throughput.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig, InstanceConfig, TraceConfig, build_trace, collect
+from repro.metrics.summary import percentile
+from repro.workload.datasets import ALPACA_EVAL
+
+
+def main() -> None:
+    # Eight H100-96GB instances; the KV capacity is capped so the trace
+    # actually pressures memory (the regime where scheduling matters).
+    config = ClusterConfig(
+        n_instances=8,
+        instance=InstanceConfig(kv_capacity_tokens=24_000),
+    )
+
+    print("Serving 700 AlpacaEval2.0-style requests at 6.5 req/s...\n")
+    header = (
+        f"{'policy':10s} {'mean TTFT':>10s} {'p99 TTFT':>10s} "
+        f"{'SLO viol':>9s} {'tokens/s':>9s} {'migrations':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for policy in ("fcfs", "rr", "pascal"):
+        # Identical trace for every policy: same seed, same arrivals.
+        trace = build_trace(
+            TraceConfig(
+                dataset=ALPACA_EVAL,
+                n_requests=700,
+                arrival_rate_per_s=6.5,
+                seed=2026,
+            )
+        )
+        cluster = Cluster(config, policy=policy)
+        cluster.run_trace(trace)
+        assert cluster.all_finished()
+
+        metrics = collect(cluster)
+        ttfts = metrics.ttfts()
+        slo = metrics.slo_report(config.slo)
+        print(
+            f"{policy:10s} {metrics.mean_ttft():9.1f}s "
+            f"{percentile(ttfts, 99):9.1f}s "
+            f"{100 * slo.violation_rate:8.2f}% "
+            f"{metrics.throughput_tokens_per_s:9.0f} "
+            f"{len(metrics.transfer_latencies_s):10d}"
+        )
+
+    print(
+        "\nPASCAL prioritizes the (user-invisible) reasoning phase and"
+        "\ntime-shares the answering phase behind a token pacer, so it cuts"
+        "\nTTFT without sacrificing answering-phase QoE or throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

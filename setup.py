@@ -1,0 +1,4 @@
+"""Legacy setuptools shim: metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

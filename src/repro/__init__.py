@@ -1,0 +1,64 @@
+"""Reproduction of PASCAL (HPCA 2026): phase-aware scheduling for serving
+reasoning-based LLMs.
+
+Public API quick tour::
+
+    from repro import ClusterConfig, Cluster, build_trace, TraceConfig, collect
+    from repro.workload.datasets import ALPACA_EVAL
+
+    config = ClusterConfig()                      # 8 x H100-96GB, 100 Gbps
+    trace = build_trace(TraceConfig(ALPACA_EVAL, n_requests=200,
+                                    arrival_rate_per_s=3.0, seed=7))
+    cluster = Cluster(config, policy="pascal")
+    cluster.run_trace(trace)
+    metrics = collect(cluster)
+    print(metrics.mean_ttft(), metrics.slo_report(config.slo).violation_rate)
+
+Subpackages:
+
+* :mod:`repro.core`      — PASCAL itself (hierarchical scheduler,
+  Algorithms 1/2, adaptive migration)
+* :mod:`repro.schedulers`— FCFS / RR / oracle baselines
+* :mod:`repro.serving`   — continuous-batching instance engine, token pacer
+* :mod:`repro.cluster`   — multi-instance orchestration, fabric, migration
+* :mod:`repro.workload`  — request model, dataset traces, arrival processes
+* :mod:`repro.perfmodel` — analytical + profile-table latency models
+* :mod:`repro.memory`    — paged KV-cache pool with GPU/CPU residency
+* :mod:`repro.metrics`   — QoE, SLO and tail-latency statistics
+* :mod:`repro.harness`   — one runner per paper figure
+"""
+
+from repro.cluster.cluster import Cluster, POLICIES
+from repro.config import (
+    ClusterConfig,
+    FabricConfig,
+    GPUConfig,
+    InstanceConfig,
+    ModelConfig,
+    SchedulerConfig,
+    SLOConfig,
+)
+from repro.metrics.collector import RunMetrics, collect
+from repro.workload.request import Phase, ReqState, Request
+from repro.workload.trace import TraceConfig, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "FabricConfig",
+    "GPUConfig",
+    "InstanceConfig",
+    "ModelConfig",
+    "Phase",
+    "POLICIES",
+    "ReqState",
+    "Request",
+    "RunMetrics",
+    "SchedulerConfig",
+    "SLOConfig",
+    "TraceConfig",
+    "build_trace",
+    "collect",
+]

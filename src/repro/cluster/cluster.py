@@ -1,0 +1,231 @@
+"""Cluster orchestration: PASCAL's two-level scheduler wired together.
+
+A :class:`Cluster` owns the simulation engine, a pool of serving instances
+(Figure 6's "instance pool"), the instance monitor, the placement
+algorithms and the migration manager.  Policies:
+
+======================  =============  ==========================  =========
+policy                  intra-instance placement                   migration
+======================  =============  ==========================  =========
+``fcfs``                FCFS           least-KV                     none
+``rr``                  RR             least-KV                     none
+``oracle``              FCFS           least-KV                     none
+``pascal``              hierarchical   Alg. 1 / Alg. 2              adaptive
+``pascal-nomigration``  hierarchical   Alg. 1 only                  none
+``pascal-nonadaptive``  hierarchical   Alg. 1 / Alg. 2              always
+``pascal-ri-only``      hierarchical   Alg. 2 w/o the a_i fallback  adaptive
+``phase-partitioned``   RR             split reasoning/answer pools always
+======================  =============  ==========================  =========
+
+``pascal-nomigration`` / ``pascal-nonadaptive`` reproduce the Figure 13 and
+Figure 15 ablations; ``pascal-ri-only`` isolates Algorithm 2's ``r_i + a_i``
+fallback claim (Section IV-B); ``phase-partitioned`` implements the
+DistServe-style explicit phase split the paper argues against (Section VII).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.fabric import Fabric
+from repro.cluster.migration import MigrationManager
+from repro.config import ClusterConfig
+from repro.core.adaptive import AdaptiveMigrationPolicy
+from repro.core.pascal import PascalScheduler
+from repro.core.placement import (
+    AnsweringPlacement,
+    ReasoningPlacement,
+    least_kv_placement,
+)
+from repro.perfmodel.analytical import AnalyticalPerfModel, PerfModel
+from repro.schedulers.base import IntraScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.oracle import OracleScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.serving.instance import ServingInstance
+from repro.serving.monitor import InstanceMonitor
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.workload.request import Request
+
+POLICIES = (
+    "fcfs",
+    "rr",
+    "oracle",
+    "pascal",
+    "pascal-nomigration",
+    "pascal-nonadaptive",
+    "pascal-ri-only",
+    "phase-partitioned",
+)
+
+
+def make_intra_scheduler(policy: str, config: ClusterConfig) -> IntraScheduler:
+    """Intra-instance scheduler instance for a cluster policy name."""
+    sched_cfg = config.instance.scheduler
+    if policy == "fcfs":
+        return FCFSScheduler()
+    if policy in ("rr", "phase-partitioned"):
+        return RoundRobinScheduler(quantum_tokens=sched_cfg.token_quantum)
+    if policy == "oracle":
+        return OracleScheduler()
+    if policy.startswith("pascal"):
+        return PascalScheduler(
+            quantum_tokens=sched_cfg.token_quantum,
+            demotion_threshold_tokens=sched_cfg.demotion_threshold_tokens,
+        )
+    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+
+
+class Cluster:
+    """A multi-instance serving deployment under one scheduling policy."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        policy: str,
+        perf: PerfModel | None = None,
+        horizon_s: float = float("inf"),
+    ):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.config = config
+        self.policy = policy
+        self.engine = SimulationEngine(horizon_s=horizon_s)
+        self.perf = perf or AnalyticalPerfModel(
+            config.instance.model, config.instance.gpu
+        )
+        self.monitor = InstanceMonitor(config.slo)
+        self.instances = [
+            ServingInstance(
+                iid=i,
+                config=config.instance,
+                perf=self.perf,
+                engine=self.engine,
+                scheduler=make_intra_scheduler(policy, config),
+            )
+            for i in range(config.n_instances)
+        ]
+        self.fabric = Fabric(config.fabric, config.n_instances)
+        self.migrations = MigrationManager(
+            self.engine, self.fabric, config.instance.model
+        )
+
+        self._is_pascal = policy.startswith("pascal")
+        self._is_partitioned = policy == "phase-partitioned"
+        self._migration_enabled = policy in (
+            "pascal",
+            "pascal-nonadaptive",
+            "pascal-ri-only",
+        )
+        self.reasoning_placement = ReasoningPlacement(self.monitor)
+        self.answering_placement = AnsweringPlacement(
+            self.monitor,
+            use_fresh_fallback=(policy != "pascal-ri-only"),
+        )
+        self.adaptive = AdaptiveMigrationPolicy(
+            growth_headroom_tokens=config.instance.scheduler.token_quantum,
+            enabled=(policy != "pascal-nonadaptive"),
+        )
+        # DistServe-style explicit phase partitioning (the Section VII
+        # counterfactual): the first half of the pool serves reasoning,
+        # the second half answering; every transition crosses the fabric.
+        half = max(1, config.n_instances // 2)
+        self.reasoning_pool = self.instances[:half]
+        self.answering_pool = (
+            self.instances[half:] if config.n_instances > 1 else self.instances
+        )
+
+        self.completed: list[Request] = []
+        self.submitted: list[Request] = []
+        self.token_log: dict[int, list[float]] | None = None
+
+        self.engine.register(EventKind.ARRIVAL, self._on_arrival)
+        self.engine.register(EventKind.STEP_COMPLETE, self._on_step_complete)
+        self.engine.register(
+            EventKind.TRANSFER_COMPLETE, self.migrations.on_transfer_complete
+        )
+        for inst in self.instances:
+            inst.on_transition = self._on_phase_transition
+            inst.on_complete = self._on_request_complete
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, now: float, req: Request) -> None:
+        if self._is_partitioned:
+            inst = least_kv_placement(self.reasoning_pool, req, now)
+        elif self._is_pascal:
+            inst = self.reasoning_placement.select(self.instances, req, now)
+        else:
+            inst = least_kv_placement(self.instances, req, now)
+        inst.admit(req, now)
+
+    def _on_step_complete(self, now: float, inst: ServingInstance) -> None:
+        inst.on_step_complete(now)
+
+    def _on_phase_transition(
+        self, req: Request, src: ServingInstance, now: float
+    ) -> None:
+        """A request just emitted its end-of-think token on ``src``."""
+        if self._is_partitioned:
+            target = least_kv_placement(self.answering_pool, req, now)
+            if target.iid == src.iid:
+                src.scheduler.on_phase_transition_local(req, now)
+            else:
+                self.migrations.start(req, src, target, now)
+            return
+        if not self._migration_enabled:
+            src.scheduler.on_phase_transition_local(req, now)
+            return
+        target = self.answering_placement.select(self.instances, req, now)
+        if self.adaptive.should_migrate(req, src, target):
+            self.migrations.start(req, src, target, now)
+        else:
+            src.scheduler.on_phase_transition_local(req, now)
+
+    def _on_request_complete(self, req: Request, now: float) -> None:
+        self.completed.append(req)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def enable_token_log(self) -> dict[int, list[float]]:
+        """Record every token's timestamp (timeline demos; adds overhead)."""
+        self.token_log = {}
+        for inst in self.instances:
+            inst.token_log = self.token_log
+        return self.token_log
+
+    def submit(self, requests: list[Request]) -> None:
+        """Schedule arrival events for a trace."""
+        for req in requests:
+            self.submitted.append(req)
+            self.engine.schedule(req.arrival_t, EventKind.ARRIVAL, req)
+
+    def run(self) -> list[Request]:
+        """Drain the simulation; returns the completed requests."""
+        self.engine.run()
+        return self.completed
+
+    def run_trace(self, requests: list[Request]) -> list[Request]:
+        """Submit and run in one call."""
+        self.submit(requests)
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # cluster-wide accounting
+    # ------------------------------------------------------------------
+    def throughput_tokens_per_s(self) -> float:
+        """Output tokens (reasoning + answering) per second of makespan."""
+        if not self.completed:
+            return 0.0
+        start = min(r.arrival_t for r in self.completed)
+        end = max(r.done_t for r in self.completed if r.done_t is not None)
+        if end <= start:
+            return 0.0
+        total = sum(r.total_decode_tokens for r in self.completed)
+        return total / (end - start)
+
+    def all_finished(self) -> bool:
+        return len(self.completed) == len(self.submitted)

@@ -1,0 +1,92 @@
+"""KV-cache migration lifecycle (Section IV-B, "KV cache transfer overhead").
+
+Reasoning models cannot predict phase transitions, so the transfer cannot
+be overlapped with computation: the request stops generating the moment it
+emits the end-of-think token, its whole KV cache crosses the fabric, and
+only then can the destination schedule its first answering token.  The
+source keeps the memory pinned until the copy lands (copy-then-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.fabric import Fabric
+from repro.config import ModelConfig
+from repro.serving.instance import ServingInstance
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.workload.request import Request
+
+
+@dataclass
+class MigrationRecord:
+    """One in-flight (or completed) migration."""
+
+    request: Request
+    source: ServingInstance
+    destination: ServingInstance
+    started_t: float
+    completes_t: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.completes_t - self.started_t
+
+
+class MigrationManager:
+    """Starts transfers, releases source KV, lands requests at destinations."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        fabric: Fabric,
+        model: ModelConfig,
+    ):
+        self.engine = engine
+        self.fabric = fabric
+        self.model = model
+        self.completed: list[MigrationRecord] = []
+        self.in_flight = 0
+
+    def start(
+        self,
+        req: Request,
+        source: ServingInstance,
+        destination: ServingInstance,
+        now: float,
+    ) -> MigrationRecord:
+        """Detach the request from its source and ship its KV cache."""
+        if destination.iid == source.iid:
+            raise ValueError("migration must change instances")
+        source.depart(req, now)
+        n_bytes = req.kv_tokens * self.model.kv_bytes_per_token
+        start, completes = self.fabric.reserve_transfer(
+            source.iid, destination.iid, n_bytes, now
+        )
+        record = MigrationRecord(
+            request=req,
+            source=source,
+            destination=destination,
+            started_t=now,
+            completes_t=completes,
+        )
+        self.in_flight += 1
+        self.engine.schedule(completes, EventKind.TRANSFER_COMPLETE, record)
+        return record
+
+    def on_transfer_complete(self, now: float, record: MigrationRecord) -> None:
+        """The copy landed: free the source pool, admit at the destination."""
+        req = record.request
+        record.source.pool.release(req)
+        record.source.mark_dirty()
+        record.source.maybe_start_step(now)
+        req.n_migrations += 1
+        req.transfer_wait_s += record.latency_s
+        self.in_flight -= 1
+        self.completed.append(record)
+        record.destination.accept_migrated(req, now)
+
+    def transfer_latencies(self) -> list[float]:
+        """Observed end-to-end migration latencies (queueing + wire)."""
+        return [rec.latency_s for rec in self.completed]

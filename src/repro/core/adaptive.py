@@ -1,0 +1,65 @@
+"""Adaptive migration override (Section IV-B, Figure 7).
+
+Algorithm 2 alone can concentrate answering requests on one instance until
+it has no free GPU memory, while the request's *current* instance still
+does.  Strictly following the algorithm would then ship the KV cache to a
+full instance, stalling answering there (and paying the transfer) even
+though staying home was free.
+
+The override rule: **keep the request on its current instance iff the
+selected target lacks free GPU memory for the request while the current
+instance still has enough headroom to keep serving it.**  "Enough" covers
+the request's existing KV footprint (for the target, which must receive it)
+plus near-term growth — one scheduler quantum or the remaining generation,
+whichever is smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.instance import ServingInstance
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class AdaptiveMigrationPolicy:
+    """Memory-aware veto on Algorithm 2's migration decisions."""
+
+    #: Tokens of near-term growth to provision for (one RR quantum).
+    growth_headroom_tokens: int = 500
+    #: Disable the veto entirely (the PASCAL(NonAdaptive) ablation).
+    enabled: bool = True
+
+    def _growth_need(self, req: Request) -> int:
+        return min(self.growth_headroom_tokens, max(req.remaining_tokens, 1))
+
+    def target_has_room(self, target: ServingInstance, req: Request) -> bool:
+        """Can the target hold the migrated KV plus near-term growth?"""
+        need = req.kv_tokens + self._growth_need(req)
+        return target.gpu_free_tokens() >= need
+
+    def source_has_room(self, source: ServingInstance, req: Request) -> bool:
+        """Can the current instance keep growing this request in place?
+
+        The request's KV is already resident at the source, so only the
+        growth headroom must be free.
+        """
+        return source.gpu_free_tokens() >= self._growth_need(req)
+
+    def should_migrate(
+        self,
+        req: Request,
+        source: ServingInstance,
+        target: ServingInstance,
+    ) -> bool:
+        """Final migration verdict for a phase-transitioning request."""
+        if target.iid == source.iid:
+            return False
+        if not self.enabled:
+            return True
+        if not self.target_has_room(target, req) and self.source_has_room(
+            source, req
+        ):
+            return False
+        return True

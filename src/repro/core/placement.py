@@ -1,0 +1,104 @@
+"""Instance-level placement — Algorithms 1 and 2 (Section IV-B).
+
+*Algorithm 1* routes each newly arrived (reasoning) request: instances
+whose answering requests are currently violating their SLO are excluded
+(adding a high-priority reasoning request would only intensify their memory
+pressure); among the rest, the instance with the smallest total KV
+footprint ``m_i`` wins.  If every instance is violating, fall back to the
+global minimum-``m_i`` instance to minimize added damage.
+
+*Algorithm 2* picks the destination for a request transitioning into the
+answering phase: same SLO filter; among survivors, the instance with the
+fewest high-priority reasoning requests ``r_i`` (the answering request will
+live off whatever memory the reasoning queue leaves).  When no instance is
+SLO-clean, the tie-break becomes ``r_i + a_i``, penalizing instances with
+many "fresh" answering requests that would compete for the first quantum.
+
+The baselines (FCFS / RR) use plain least-``m_i`` placement with no SLO
+filter and never migrate (Section V-A).
+"""
+
+from __future__ import annotations
+
+from repro.serving.instance import ServingInstance
+from repro.serving.monitor import InstanceMonitor
+from repro.workload.request import Request
+
+
+def least_kv_placement(
+    instances: list[ServingInstance], req: Request, now: float
+) -> ServingInstance:
+    """Baseline router: smallest total KV footprint, no SLO awareness."""
+    if not instances:
+        raise ValueError("no instances to place onto")
+    return min(instances, key=lambda inst: (inst.total_kv_tokens(), inst.iid))
+
+
+class ReasoningPlacement:
+    """Algorithm 1: instance selection for reasoning requests."""
+
+    def __init__(self, monitor: InstanceMonitor):
+        self.monitor = monitor
+
+    def select(
+        self, instances: list[ServingInstance], req: Request, now: float
+    ) -> ServingInstance:
+        if not instances:
+            raise ValueError("no instances to place onto")
+        eligible = [
+            inst
+            for inst in instances
+            if self.monitor.answering_slo_ok(inst, now)
+        ]
+        if not eligible:
+            eligible = list(instances)
+        return min(
+            eligible,
+            key=lambda inst: (self.monitor.kv_footprint(inst), inst.iid),
+        )
+
+
+class AnsweringPlacement:
+    """Algorithm 2: instance selection for answering requests.
+
+    ``use_fresh_fallback=False`` disables the ``r_i + a_i`` tie-break the
+    paper uses when every instance is violating its SLO, falling back to
+    plain ``r_i`` — the ablation behind the paper's claim that "considering
+    both r_i and a_i achieves better load balancing and SLO attainment
+    than using r_i alone under these scenarios" (Section IV-B).
+    """
+
+    def __init__(self, monitor: InstanceMonitor, use_fresh_fallback: bool = True):
+        self.monitor = monitor
+        self.use_fresh_fallback = use_fresh_fallback
+
+    def select(
+        self, instances: list[ServingInstance], req: Request, now: float
+    ) -> ServingInstance:
+        if not instances:
+            raise ValueError("no instances to place onto")
+        eligible = [
+            inst
+            for inst in instances
+            if self.monitor.answering_slo_ok(inst, now)
+        ]
+        if eligible:
+            return min(
+                eligible,
+                key=lambda inst: (self.monitor.reasoning_count(inst), inst.iid),
+            )
+        if not self.use_fresh_fallback:
+            return min(
+                instances,
+                key=lambda inst: (self.monitor.reasoning_count(inst), inst.iid),
+            )
+        # Lines 4-9: every instance is violating; fold in the fresh
+        # answering population a_i, which competes for the first quantum.
+        return min(
+            instances,
+            key=lambda inst: (
+                self.monitor.reasoning_count(inst)
+                + self.monitor.fresh_answering_count(inst),
+                inst.iid,
+            ),
+        )

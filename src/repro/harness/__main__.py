@@ -1,0 +1,48 @@
+"""Command-line access to the per-figure experiments.
+
+Usage::
+
+    python -m repro.harness list            # available experiment ids
+    python -m repro.harness fig4            # run one and print its table
+    python -m repro.harness all             # run everything (slow)
+
+Results also land in ``benchmarks/results/`` when run via the benchmark
+suite; this entry point is for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    target = argv[0]
+    if target == "list":
+        for name in sorted(ALL_EXPERIMENTS):
+            doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name:20s} {summary}")
+        return 0
+    if target == "all":
+        for name in sorted(ALL_EXPERIMENTS):
+            print(ALL_EXPERIMENTS[name]().render())
+            print()
+        return 0
+    if target not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {target!r}; "
+            f"try one of: {', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(ALL_EXPERIMENTS[target]().render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,822 @@
+"""One entry point per paper table/figure.
+
+Each ``figNN()`` function runs (or reuses, via the runner caches) the
+simulations behind one figure of the paper and returns a
+:class:`~repro.harness.report.FigureResult` whose rows mirror the series
+the paper plots.  The benchmark suite under ``benchmarks/`` prints these
+and asserts the qualitative shape (who wins, approximate factors).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig
+from repro.harness.report import FigureResult
+from repro.harness.runner import (
+    CharacterizationSettings,
+    EvalSettings,
+    run_characterization,
+    run_evaluation,
+)
+from repro.harness.timeline import ascii_timeline
+from repro.metrics.collector import RunMetrics
+from repro.metrics.summary import mean, percentile
+from repro.perfmodel.analytical import AnalyticalPerfModel
+from repro.perfmodel.profile import ProfileTable
+from repro.perfmodel.unit import UnitPerfModel
+from repro.perfmodel.validate import validate_runs
+from repro.sim.rng import RandomStreams
+from repro.workload.datasets import (
+    ALPACA_EVAL,
+    ARENA_HARD,
+    GPQA,
+    LIVECODEBENCH,
+    MATH_500,
+    reasoning_heavy_mix,
+)
+from repro.workload.request import Phase
+from repro.workload.synthetic import (
+    CHARACTERIZATION_LENGTHS,
+    fixed_length_requests,
+)
+from repro.workload.trace import TraceConfig, build_trace, trace_token_stats
+
+CHAR_POLICIES = ("oracle", "fcfs", "rr")
+EVAL_POLICIES = ("fcfs", "rr", "pascal")
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — scheduling timeline in abstract time units
+# ---------------------------------------------------------------------------
+def fig2_timeline() -> FigureResult:
+    """Oracle / FCFS / RR timelines for three requests, capacity = 2.
+
+    Requests A, B, C arrive at t = 0, 1, 2; GPU memory fits two requests;
+    the RR token quantum is 4.  The paper reads off a TTFT of 7 units for
+    request C under FCFS versus 3 under RR.
+    """
+    rows = []
+    timelines = {}
+    for policy, capacity_requests in (
+        ("oracle", 3),
+        ("fcfs", 2),
+        ("rr", 2),
+    ):
+        # One 16-token block per request: prompt 1 + up to 8 decode tokens.
+        instance = InstanceConfig(
+            kv_capacity_tokens=capacity_requests * 16,
+            scheduler=SchedulerConfig(token_quantum=4),
+        )
+        config = ClusterConfig(n_instances=1, instance=instance)
+        cluster = Cluster(
+            config, policy=policy, perf=UnitPerfModel(decode_step_s=1.0)
+        )
+        log = cluster.enable_token_log()
+        requests = fixed_length_requests(
+            3,
+            prompt_len=1,
+            reasoning_len=4,
+            answer_len=4,
+            arrival_times=[0.0, 1.0, 2.0],
+            dataset="fig2",
+        )
+        # Request C is one token shorter, as drawn in the paper.
+        requests[2].answer_len = 3
+        cluster.run_trace(requests)
+        timelines[policy] = ascii_timeline(requests, log)
+        req_c = requests[2]
+        rows.append(
+            [
+                policy,
+                req_c.first_sched_t - req_c.arrival_t,
+                req_c.ttft(),
+                max(r.done_t for r in requests),
+            ]
+        )
+    return FigureResult(
+        figure_id="fig2",
+        title="Request C under oracle / FCFS / RR (time units)",
+        headers=["policy", "C wait", "C TTFT", "makespan"],
+        rows=rows,
+        notes=[
+            "paper: C's service is delayed ~7 units under FCFS vs ~3 under RR",
+            *[f"{p} timeline:\n{t}" for p, t in timelines.items()],
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — reasoning-phase latency breakdown
+# ---------------------------------------------------------------------------
+def fig4_reasoning_phase(
+    settings: CharacterizationSettings | None = None,
+) -> FigureResult:
+    settings = settings or CharacterizationSettings.for_scale()
+    runs = {
+        policy: run_characterization("reasoning", policy, settings)
+        for policy in CHAR_POLICIES
+    }
+    breakdowns = {
+        policy: run.metrics.phase_breakdown(
+            Phase.REASONING, lambda r: r.reasoning_len
+        )
+        for policy, run in runs.items()
+    }
+    rows = []
+    for length in CHARACTERIZATION_LENGTHS:
+        oracle_total = sum(breakdowns["oracle"].get(length, {}).values())
+        for policy in CHAR_POLICIES:
+            cell = breakdowns[policy].get(
+                length, {"executed": 0.0, "blocked": 0.0, "preempted": 0.0}
+            )
+            total = sum(cell.values())
+            rows.append(
+                [
+                    length,
+                    policy,
+                    cell["executed"],
+                    cell["blocked"],
+                    cell["preempted"],
+                    total,
+                    (total / oracle_total) if oracle_total > 0 else None,
+                ]
+            )
+    return FigureResult(
+        figure_id="fig4",
+        title="Reasoning-phase latency breakdown (s), 50% memory cap",
+        headers=[
+            "reasoning_tokens",
+            "policy",
+            "executed",
+            "blocked",
+            "preempted",
+            "total",
+            "vs_oracle",
+        ],
+        rows=rows,
+        notes=[
+            "paper: FCFS up to 5.14x oracle at 128 tokens (blocking-dominated)",
+            "paper: RR up to 1.75x oracle at 2048 tokens (preemption-dominated)",
+            f"capacity: oracle peak {runs['fcfs'].oracle_peak_tokens} tokens, "
+            f"constrained {runs['fcfs'].capacity_tokens} tokens",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — answering-phase latency breakdown + SLO attainment
+# ---------------------------------------------------------------------------
+def fig5_answering_phase(
+    settings: CharacterizationSettings | None = None,
+) -> FigureResult:
+    settings = settings or CharacterizationSettings.for_scale()
+    runs = {
+        policy: run_characterization("answering", policy, settings)
+        for policy in CHAR_POLICIES
+    }
+    slo = ClusterConfig().slo
+    rows = []
+    for length in CHARACTERIZATION_LENGTHS:
+        for policy in CHAR_POLICIES:
+            metrics = runs[policy].metrics
+            subset = [r for r in metrics.requests if r.answer_len == length]
+            sub_metrics = RunMetrics(policy=policy, requests=subset)
+            cell = sub_metrics.phase_breakdown(Phase.ANSWERING, lambda r: 0)[0]
+            report = sub_metrics.slo_report(slo, include_ttfat=True)
+            rows.append(
+                [
+                    length,
+                    policy,
+                    cell["executed"],
+                    cell["blocked"],
+                    cell["preempted"],
+                    sum(cell.values()),
+                    report.attainment_rate,
+                ]
+            )
+    return FigureResult(
+        figure_id="fig5",
+        title="Answering-phase latency breakdown (s) and SLO attainment",
+        headers=[
+            "answer_tokens",
+            "policy",
+            "executed",
+            "blocked",
+            "preempted",
+            "total",
+            "slo_attainment",
+        ],
+        rows=rows,
+        notes=[
+            "paper: FCFS attainment low across lengths (TTFAT blown by blocking)",
+            "paper: RR attainment ~= oracle even where its total latency exceeds "
+            "FCFS at 2048 tokens (threshold-based SLO tolerates preemption)",
+            "SLO: QoE >= 0.95 with TTFAT target 0.25 s, TPOT target 100 ms",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 14 — dataset token distributions
+# ---------------------------------------------------------------------------
+def _distribution_rows(specs, n_samples: int = 4000) -> list[list]:
+    rows = []
+    for spec in specs:
+        trace = build_trace(
+            TraceConfig(
+                dataset=spec,
+                n_requests=n_samples,
+                arrival_rate_per_s=1.0,
+                seed=13,
+            )
+        )
+        stats = trace_token_stats(trace)
+        rows.append(
+            [
+                spec.name,
+                spec.reasoning.mean,
+                stats["reasoning_mean"],
+                spec.answering.mean,
+                stats["answering_mean"],
+                stats["reasoning_mean"] / max(stats["answering_mean"], 1e-9),
+                stats["frac_reasoning_under_1000"],
+            ]
+        )
+    return rows
+
+
+def fig8_chat_distributions(n_samples: int = 4000) -> FigureResult:
+    return FigureResult(
+        figure_id="fig8",
+        title="Chat dataset token distributions (synthetic vs paper means)",
+        headers=[
+            "dataset",
+            "paper_reason_mean",
+            "measured_reason_mean",
+            "paper_answer_mean",
+            "measured_answer_mean",
+            "reason/answer",
+            "frac_reason<1000",
+        ],
+        rows=_distribution_rows((ALPACA_EVAL, ARENA_HARD), n_samples),
+        notes=[
+            "paper (fig 8): AlpacaEval 557.75/566.85, Arena-Hard 968.35/824.02",
+            "paper (fig 10 caption): >70% of requests reason under 1000 tokens",
+        ],
+    )
+
+
+def fig14_reasoning_heavy_distributions(n_samples: int = 4000) -> FigureResult:
+    return FigureResult(
+        figure_id="fig14",
+        title="Problem-solving dataset distributions (synthetic vs paper means)",
+        headers=[
+            "dataset",
+            "paper_reason_mean",
+            "measured_reason_mean",
+            "paper_answer_mean",
+            "measured_answer_mean",
+            "reason/answer",
+            "frac_reason<1000",
+        ],
+        rows=_distribution_rows((MATH_500, GPQA, LIVECODEBENCH), n_samples),
+        notes=[
+            "paper (fig 14): MATH-500 747.20/164.67, GPQA 2679.27/316.09, "
+            "LiveCodeBench 1896.64/697.09",
+            "paper: reasoning tokens reach up to 8.48x the answering tokens",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-12 — the Section V evaluation matrix
+# ---------------------------------------------------------------------------
+def fig9_ttft(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    rows = []
+    for dataset in (ALPACA_EVAL, ARENA_HARD):
+        for tier in ("low", "medium", "high"):
+            for policy in EVAL_POLICIES:
+                metrics = run_evaluation(dataset, tier, policy, settings)
+                ttfts = metrics.ttfts()
+                rows.append(
+                    [
+                        dataset.name,
+                        tier,
+                        policy,
+                        mean(ttfts),
+                        percentile(ttfts, 50),
+                        percentile(ttfts, 99),
+                        max(ttfts),
+                    ]
+                )
+    return FigureResult(
+        figure_id="fig9",
+        title="Absolute TTFT across arrival rates (s)",
+        headers=[
+            "dataset",
+            "rate",
+            "policy",
+            "mean",
+            "p50",
+            "p99",
+            "max",
+        ],
+        rows=rows,
+        notes=[
+            "paper: TTFT grows with reasoning length; high rate inflates "
+            "FCFS/RR tails far more than PASCAL's",
+        ],
+    )
+
+
+def fig10_tail_ttft(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    rows = []
+    headline = {}
+    for dataset in (ALPACA_EVAL, ARENA_HARD):
+        metrics = {
+            policy: run_evaluation(dataset, "high", policy, settings)
+            for policy in EVAL_POLICIES
+        }
+        bins = {p: {b.lo: b for b in m.ttft_bins()} for p, m in metrics.items()}
+        shared = sorted(
+            set(bins["fcfs"]) & set(bins["rr"]) & set(bins["pascal"])
+        )
+        best_vs_fcfs = 0.0
+        best_vs_rr = 0.0
+        for lo in shared:
+            fcfs_v = bins["fcfs"][lo].tail_value
+            rr_v = bins["rr"][lo].tail_value
+            pascal_v = bins["pascal"][lo].tail_value
+            red_fcfs = (fcfs_v - pascal_v) / fcfs_v if fcfs_v > 0 else 0.0
+            red_rr = (rr_v - pascal_v) / rr_v if rr_v > 0 else 0.0
+            best_vs_fcfs = max(best_vs_fcfs, red_fcfs)
+            best_vs_rr = max(best_vs_rr, red_rr)
+            rows.append(
+                [
+                    dataset.name,
+                    bins["pascal"][lo].label,
+                    bins["pascal"][lo].n_samples,
+                    bins["pascal"][lo].metric_name,
+                    fcfs_v,
+                    rr_v,
+                    pascal_v,
+                    100.0 * red_fcfs,
+                    100.0 * red_rr,
+                ]
+            )
+        headline[dataset.name] = (best_vs_fcfs, best_vs_rr)
+    notes = [
+        "paper: PASCAL cuts tail TTFT by up to 61% (AlpacaEval) / 72% "
+        "(Arena-Hard) vs FCFS, and 33% / 29% vs RR",
+    ]
+    for name, (vf, vr) in headline.items():
+        notes.append(
+            f"measured {name}: best reduction {100 * vf:.0f}% vs FCFS, "
+            f"{100 * vr:.0f}% vs RR"
+        )
+    return FigureResult(
+        figure_id="fig10",
+        title="Tail TTFT by reasoning-length bin, high arrival rate (s)",
+        headers=[
+            "dataset",
+            "bin",
+            "n",
+            "metric",
+            "fcfs",
+            "rr",
+            "pascal",
+            "red_vs_fcfs_%",
+            "red_vs_rr_%",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def fig11_slo_violations(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    slo = settings.cluster_config().slo
+    rows = []
+    for dataset in (ALPACA_EVAL, ARENA_HARD):
+        for tier in ("low", "medium", "high"):
+            row = [dataset.name, tier]
+            for policy in EVAL_POLICIES:
+                metrics = run_evaluation(dataset, tier, policy, settings)
+                row.append(100.0 * metrics.slo_report(slo).violation_rate)
+            rows.append(row)
+    return FigureResult(
+        figure_id="fig11",
+        title="Answering-phase SLO violation rates (%)",
+        headers=["dataset", "rate", "fcfs_%", "rr_%", "pascal_%"],
+        rows=rows,
+        notes=[
+            "paper: PASCAL consistently lower or comparable violation rates",
+            "violation: QoE (TPOT-anchored) below 0.95",
+        ],
+    )
+
+
+def fig12_throughput(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    rows = []
+    worst_gap = 0.0
+    for dataset in (ALPACA_EVAL, ARENA_HARD):
+        for tier in ("low", "medium", "high"):
+            values = {}
+            for policy in EVAL_POLICIES:
+                metrics = run_evaluation(dataset, tier, policy, settings)
+                values[policy] = metrics.throughput_tokens_per_s
+            baseline_best = max(values["fcfs"], values["rr"])
+            gap = (
+                (baseline_best - values["pascal"]) / baseline_best
+                if baseline_best > 0
+                else 0.0
+            )
+            worst_gap = max(worst_gap, gap)
+            rows.append(
+                [
+                    dataset.name,
+                    tier,
+                    values["fcfs"],
+                    values["rr"],
+                    values["pascal"],
+                    100.0 * gap,
+                ]
+            )
+    return FigureResult(
+        figure_id="fig12",
+        title="Serving throughput (tokens/s)",
+        headers=[
+            "dataset",
+            "rate",
+            "fcfs",
+            "rr",
+            "pascal",
+            "pascal_deficit_%",
+        ],
+        rows=rows,
+        notes=[
+            "paper: PASCAL throughput within 3% of both baselines",
+            f"measured worst PASCAL deficit vs best baseline: {100 * worst_gap:.1f}%",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section V-C — KV cache transfer overhead
+# ---------------------------------------------------------------------------
+def sec5c_transfer_overhead(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    rows = []
+    for dataset, paper_p99 in ((ALPACA_EVAL, 0.14), (ARENA_HARD, 0.25)):
+        metrics = run_evaluation(dataset, "high", "pascal", settings)
+        p99 = metrics.p99_transfer_latency()
+        ttft_p99 = percentile(metrics.ttfts(), 99)
+        rows.append(
+            [
+                dataset.name,
+                len(metrics.transfer_latencies_s),
+                paper_p99,
+                p99,
+                ttft_p99,
+                (100.0 * p99 / ttft_p99) if (p99 and ttft_p99 > 0) else None,
+            ]
+        )
+    return FigureResult(
+        figure_id="sec5c",
+        title="KV-cache transfer overhead under high arrival rate",
+        headers=[
+            "dataset",
+            "n_transfers",
+            "paper_p99_s",
+            "measured_p99_s",
+            "p99_ttft_s",
+            "transfer/ttft_%",
+        ],
+        rows=rows,
+        notes=[
+            "paper: P99 transfer latency 0.14 s (AlpacaEval) / 0.25 s "
+            "(Arena-Hard); negligible vs multi-second TTFTs",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — disabling migration
+# ---------------------------------------------------------------------------
+def fig13_no_migration(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    slo = settings.cluster_config().slo
+    rows = []
+    for policy in ("pascal", "pascal-nomigration"):
+        metrics = run_evaluation(ALPACA_EVAL, "high", policy, settings)
+        ttfts = metrics.ttfts()
+        blocking = metrics.blocking_latencies()
+        rows.append(
+            [
+                policy,
+                mean(ttfts),
+                percentile(ttfts, 99),
+                mean(metrics.reasoning_latencies()),
+                percentile(blocking, 99) if blocking else None,
+                100.0 * metrics.slo_report(slo).violation_rate,
+            ]
+        )
+    return FigureResult(
+        figure_id="fig13",
+        title="PASCAL vs PASCAL(NoMigration), AlpacaEval high rate",
+        headers=[
+            "policy",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "mean_reasoning_s",
+            "p99_blocking_s",
+            "slo_violation_%",
+        ],
+        rows=rows,
+        notes=[
+            "paper: NoMigration's P99 blocking latency reaches 27.39 s while "
+            "PASCAL keeps it near zero; reasoning latency is nearly unchanged "
+            "but tail TTFT and SLO violations worsen",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — disabling adaptive migration
+# ---------------------------------------------------------------------------
+def fig15_non_adaptive(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    slo = settings.cluster_config().slo
+    rows = []
+    for policy in ("pascal", "pascal-nonadaptive"):
+        for tier in ("low", "medium", "high"):
+            metrics = run_evaluation(ALPACA_EVAL, tier, policy, settings)
+            ttfts = metrics.ttfts()
+            e2e = metrics.e2e_latencies()
+            rows.append(
+                [
+                    policy,
+                    tier,
+                    100.0 * metrics.slo_report(slo).violation_rate,
+                    mean(ttfts),
+                    percentile(ttfts, 99),
+                    mean(e2e),
+                    percentile(e2e, 50),
+                    percentile(e2e, 99),
+                ]
+            )
+    return FigureResult(
+        figure_id="fig15",
+        title="PASCAL vs PASCAL(NonAdaptive), AlpacaEval",
+        headers=[
+            "policy",
+            "rate",
+            "slo_violation_%",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "mean_e2e_s",
+            "p50_e2e_s",
+            "p99_e2e_s",
+        ],
+        rows=rows,
+        notes=[
+            "paper: at high rate NonAdaptive violates SLO 7.45% vs 0.69%; "
+            "median e2e +20.1%, tail +9.7%; TTFT distributions similar",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 — reasoning-heavy mixed workload
+# ---------------------------------------------------------------------------
+def fig16_mixed_workload(settings: EvalSettings | None = None) -> FigureResult:
+    settings = settings or EvalSettings.for_scale()
+    mix = reasoning_heavy_mix()
+    slo = settings.cluster_config().slo
+    metrics = {
+        policy: run_evaluation(mix, "high", policy, settings)
+        for policy in EVAL_POLICIES
+    }
+    bins = {
+        p: {b.lo: b for b in m.ttft_bins(bin_width=512)}
+        for p, m in metrics.items()
+    }
+    shared = sorted(set(bins["fcfs"]) & set(bins["rr"]) & set(bins["pascal"]))
+    rows = []
+    best_vs_fcfs = 0.0
+    best_vs_rr = 0.0
+    worst_vs_rr = 0.0
+    for lo in shared:
+        fcfs_v = bins["fcfs"][lo].tail_value
+        rr_v = bins["rr"][lo].tail_value
+        pascal_v = bins["pascal"][lo].tail_value
+        red_fcfs = (fcfs_v - pascal_v) / fcfs_v if fcfs_v > 0 else 0.0
+        red_rr = (rr_v - pascal_v) / rr_v if rr_v > 0 else 0.0
+        best_vs_fcfs = max(best_vs_fcfs, red_fcfs)
+        best_vs_rr = max(best_vs_rr, red_rr)
+        worst_vs_rr = min(worst_vs_rr, red_rr)
+        rows.append(
+            [
+                bins["pascal"][lo].label,
+                bins["pascal"][lo].n_samples,
+                fcfs_v,
+                rr_v,
+                pascal_v,
+                100.0 * red_fcfs,
+                100.0 * red_rr,
+            ]
+        )
+    slo_row = [
+        "slo_violation_%",
+        None,
+        100.0 * metrics["fcfs"].slo_report(slo).violation_rate,
+        100.0 * metrics["rr"].slo_report(slo).violation_rate,
+        100.0 * metrics["pascal"].slo_report(slo).violation_rate,
+        None,
+        None,
+    ]
+    rows.append(slo_row)
+    return FigureResult(
+        figure_id="fig16",
+        title="Mixed 50% Arena-Hard + 50% reasoning-heavy, high rate",
+        headers=[
+            "bin",
+            "n",
+            "fcfs",
+            "rr",
+            "pascal",
+            "red_vs_fcfs_%",
+            "red_vs_rr_%",
+        ],
+        rows=rows,
+        notes=[
+            "paper: up to 70% tail-TTFT reduction vs FCFS on short bins; "
+            "worst-case +6.8% on long reasoning; vs RR up to 13.9% better, "
+            "worst-case degradation < 7.7%; SLO ~= RR, below FCFS",
+            f"measured: best {100 * best_vs_fcfs:.0f}% vs FCFS, best "
+            f"{100 * best_vs_rr:.0f}% / worst {100 * worst_vs_rr:.0f}% vs RR",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section V-A — simulator validation (profile table vs analytical source)
+# ---------------------------------------------------------------------------
+def sec5a_validation(n_requests: int = 80, seed: int = 3) -> FigureResult:
+    analytical = AnalyticalPerfModel(
+        ClusterConfig().instance.model, ClusterConfig().instance.gpu
+    )
+    profile = ProfileTable.from_model(analytical)
+    runs = {}
+    for label, perf in (("analytical", analytical), ("profile", profile)):
+        trace = build_trace(
+            TraceConfig(
+                dataset=ALPACA_EVAL,
+                n_requests=n_requests,
+                arrival_rate_per_s=0.5,
+                seed=seed,
+            )
+        )
+        instance = InstanceConfig(kv_capacity_tokens=16000)
+        config = ClusterConfig(n_instances=1, instance=instance)
+        cluster = Cluster(config, policy="fcfs", perf=perf)
+        cluster.run_trace(trace)
+        runs[label] = cluster.completed
+    report = validate_runs(runs["analytical"], runs["profile"])
+    rows = [
+        [metric, paper, measured]
+        for metric, paper, measured in report.rows()
+    ]
+    return FigureResult(
+        figure_id="sec5a",
+        title="Simulator validation: profile-table vs reference model (MAPE %)",
+        headers=["metric", "paper_mape_%", "measured_mape_%"],
+        rows=rows,
+        notes=[
+            "paper validates simulated vs measured H100 latency; we validate "
+            "the profile-interpolation path against its closed-form source, "
+            f"over {report.n_requests} paired requests",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Design-choice ablations (claims the paper states without a figure)
+# ---------------------------------------------------------------------------
+def ablation_alg2_fallback(settings: EvalSettings | None = None) -> FigureResult:
+    """Algorithm 2's ``r_i + a_i`` fallback vs plain ``r_i`` (Section IV-B).
+
+    The fallback only engages when every instance is violating its
+    answering SLO, so this ablation runs a hotter-than-high "stress" tier
+    on top of the standard tiers.
+    """
+    base = settings or EvalSettings.for_scale()
+    import dataclasses
+
+    stressed = dataclasses.replace(
+        base,
+        load_factors=base.load_factors + (("stress", 1.35),),
+    )
+    slo = stressed.cluster_config().slo
+    rows = []
+    for policy in ("pascal", "pascal-ri-only"):
+        for tier in ("high", "stress"):
+            metrics = run_evaluation(ALPACA_EVAL, tier, policy, stressed)
+            ttfts = metrics.ttfts()
+            rows.append(
+                [
+                    policy,
+                    tier,
+                    100.0 * metrics.slo_report(slo).violation_rate,
+                    mean(ttfts),
+                    percentile(ttfts, 99),
+                    metrics.throughput_tokens_per_s,
+                ]
+            )
+    return FigureResult(
+        figure_id="ablation-alg2",
+        title="Algorithm 2 fallback: r_i + a_i vs r_i alone, AlpacaEval",
+        headers=[
+            "policy",
+            "rate",
+            "slo_violation_%",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "throughput",
+        ],
+        rows=rows,
+        notes=[
+            "paper (Sec IV-B): considering both r_i and a_i achieves better "
+            "load balancing and SLO attainment than r_i alone when no "
+            "instance meets the SLO condition",
+        ],
+    )
+
+
+def ablation_phase_partitioning(
+    settings: EvalSettings | None = None,
+) -> FigureResult:
+    """DistServe-style explicit phase partitioning (Section VII).
+
+    Half the instances serve only reasoning, half only answering, with a
+    mandatory KV transfer at every phase boundary.  The paper argues the
+    two phases share identical per-step compute, so partitioning forfeits
+    statistical multiplexing for no benefit.
+    """
+    settings = settings or EvalSettings.for_scale()
+    slo = settings.cluster_config().slo
+    rows = []
+    for policy in ("pascal", "phase-partitioned", "fcfs"):
+        metrics = run_evaluation(ALPACA_EVAL, "high", policy, settings)
+        ttfts = metrics.ttfts()
+        rows.append(
+            [
+                policy,
+                mean(ttfts),
+                percentile(ttfts, 99),
+                100.0 * metrics.slo_report(slo).violation_rate,
+                metrics.throughput_tokens_per_s,
+                len(metrics.transfer_latencies_s),
+            ]
+        )
+    return FigureResult(
+        figure_id="ablation-partition",
+        title="Explicit phase partitioning vs PASCAL, AlpacaEval high rate",
+        headers=[
+            "policy",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "slo_violation_%",
+            "throughput",
+            "migrations",
+        ],
+        rows=rows,
+        notes=[
+            "paper (Sec VII): both phases are decode steps with similar "
+            "per-step latency, so a DistServe-style split yields no "
+            "efficiency gain while halving each phase's memory pool",
+        ],
+    )
+
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_timeline,
+    "fig4": fig4_reasoning_phase,
+    "fig5": fig5_answering_phase,
+    "fig8": fig8_chat_distributions,
+    "fig9": fig9_ttft,
+    "fig10": fig10_tail_ttft,
+    "fig11": fig11_slo_violations,
+    "fig12": fig12_throughput,
+    "fig13": fig13_no_migration,
+    "fig14": fig14_reasoning_heavy_distributions,
+    "fig15": fig15_non_adaptive,
+    "fig16": fig16_mixed_workload,
+    "sec5a": sec5a_validation,
+    "sec5c": sec5c_transfer_overhead,
+    "ablation-alg2": ablation_alg2_fallback,
+    "ablation-partition": ablation_phase_partitioning,
+}

@@ -1,0 +1,88 @@
+"""Reporting helpers: fixed-width tables and paper-vs-measured rows.
+
+Every figure benchmark prints its reproduction as an ASCII table whose rows
+match the series the paper plots, plus (where the paper states a number) a
+"paper" column so the reader can eyeball shape agreement directly in the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list],
+    title: str = "",
+) -> str:
+    """Monospace table with a rule under the header."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure, ready to print and to assert on."""
+
+    figure_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                self.headers, self.rows, title=f"[{self.figure_id}] {self.title}"
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """All values of one named column (for assertions)."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.headers}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_column: str = None) -> dict:
+        """Rows keyed by their first (or a named) column."""
+        key_idx = 0 if key_column is None else self.headers.index(key_column)
+        return {row[key_idx]: row for row in self.rows}

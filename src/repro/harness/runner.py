@@ -1,0 +1,356 @@
+"""Experiment runners: build a cluster + workload, execute, collect.
+
+Two experiment families mirror the paper:
+
+* **characterization** (Section III, Figures 4-5) — a single instance whose
+  KV capacity is capped at 50 % of the oracle's *peak observed usage*;
+* **evaluation** (Section V, Figures 9-16) — an eight-instance cluster with
+  dataset traces at calibrated low/medium/high arrival rates.
+
+Every run rebuilds its trace from the same seed, so all policies see
+byte-identical workloads, and run results are memoized per configuration so
+the figure benchmarks can share the expensive simulations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig
+from repro.harness import calibrate
+from repro.metrics.collector import RunMetrics, collect
+from repro.perfmodel.analytical import AnalyticalPerfModel
+from repro.schedulers.oracle import oracle_capacity_tokens
+from repro.sim.rng import RandomStreams
+from repro.workload import arrival, synthetic
+from repro.workload.datasets import (
+    ALPACA_EVAL,
+    ARENA_HARD,
+    DatasetSpec,
+    MixedDataset,
+    sample_trace,
+)
+from repro.workload.trace import TraceConfig, build_trace
+
+
+def default_scale() -> str:
+    """Experiment scale: 'quick' for CI, 'paper' for full-size runs."""
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Knobs of the Section V evaluation runs."""
+
+    n_requests: int = 1200
+    seed: int = 42
+    n_instances: int = 8
+    #: Per-instance KV capacity (tokens).  Mirrors the paper's setup: large
+    #: relative to any single request (so one chain-of-thought cannot hog an
+    #: instance) yet small enough that the high arrival tier saturates it.
+    kv_capacity_tokens: int = 60000
+    #: The trace must outnumber the cluster's resident-request capacity for
+    #: memory pressure to build; traces are sized to this multiple of it.
+    trace_residency_multiple: float = 4.5
+    load_factors: tuple[tuple[str, float], ...] = (
+        ("low", 0.5),
+        ("medium", 0.8),
+        ("high", 1.1),
+    )
+
+    @classmethod
+    def for_scale(cls, scale: str | None = None) -> "EvalSettings":
+        scale = scale or default_scale()
+        if scale == "paper":
+            return cls(trace_residency_multiple=6.0)
+        return cls()
+
+    def cluster_config(self) -> ClusterConfig:
+        instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
+        return ClusterConfig(n_instances=self.n_instances, instance=instance)
+
+    def resident_request_capacity(
+        self, dataset: DatasetSpec | MixedDataset
+    ) -> float:
+        """How many average requests the cluster's GPU pools hold at once."""
+        mean_kv = calibrate.mixture_mean_request_tokens(
+            dataset
+        ) - calibrate.mixture_mean_decode_tokens(dataset) / 2.0
+        return self.n_instances * self.kv_capacity_tokens / mean_kv
+
+    def n_requests_for(self, dataset: DatasetSpec | MixedDataset) -> int:
+        """Trace length: enough requests to overrun residency at high rate."""
+        return max(
+            self.n_requests,
+            int(
+                self.trace_residency_multiple
+                * self.resident_request_capacity(dataset)
+            ),
+        )
+
+    def rates_for(self, dataset: DatasetSpec | MixedDataset) -> dict[str, float]:
+        """Arrival rates per tier, anchored at *measured* cluster capacity.
+
+        The analytical estimate in :mod:`repro.harness.calibrate` is a good
+        first guess but misses workload-specific effects (prefill share,
+        achievable batch depth, swap churn), so the tiers here are scaled
+        against the saturated throughput of an actual probe simulation —
+        which is how one would calibrate against a real deployment too.
+        """
+        capacity_req_per_s = measured_capacity_req_per_s(dataset, self)
+        return {
+            tier: capacity_req_per_s * factor
+            for tier, factor in self.load_factors
+        }
+
+
+@dataclass(frozen=True)
+class CharacterizationSettings:
+    """Knobs of the Section III single-instance characterization."""
+
+    n_requests: int = 300
+    seed: int = 7
+    #: Near the constrained configuration's service capacity: one H100
+    #: serving the 32B model sustains ~250 decode tokens/s at the capped
+    #: memory operating point, and the mean request is ~1.2k tokens.
+    #: The reasoning experiment runs slightly hotter so blocking dominates
+    #: short requests (Figure 4); the answering experiment runs at capacity
+    #: so RR's pacer buffer covers its preemption gaps (Figure 5).
+    reasoning_rate_per_s: float = 0.30
+    answering_rate_per_s: float = 0.22
+    #: Memory cap as a fraction of the oracle's peak usage (paper: 50 %).
+    capacity_fraction: float = 0.5
+
+    def rate_for(self, phase: str) -> float:
+        if phase == "reasoning":
+            return self.reasoning_rate_per_s
+        if phase == "answering":
+            return self.answering_rate_per_s
+        raise ValueError(f"unknown characterization phase {phase!r}")
+
+    @classmethod
+    def for_scale(cls, scale: str | None = None) -> "CharacterizationSettings":
+        scale = scale or default_scale()
+        if scale == "paper":
+            return cls(n_requests=300)
+        return cls(n_requests=150)
+
+
+@dataclass
+class CharacterizationRun:
+    """One characterization result plus the capacity bookkeeping."""
+
+    metrics: RunMetrics
+    oracle_peak_tokens: int
+    capacity_tokens: int
+
+
+def _characterization_workload(phase: str, settings: CharacterizationSettings):
+    streams = RandomStreams(settings.seed)
+    arrivals = arrival.poisson_arrivals(
+        settings.rate_for(phase),
+        settings.n_requests,
+        streams.stream(f"char-arrivals:{phase}"),
+    )
+    rng = streams.stream(f"char-lengths:{phase}")
+    if phase == "reasoning":
+        return synthetic.reasoning_phase_workload(
+            settings.n_requests, arrivals, rng
+        )
+    if phase == "answering":
+        return synthetic.answering_phase_workload(
+            settings.n_requests, arrivals, rng
+        )
+    raise ValueError(f"unknown characterization phase {phase!r}")
+
+
+_char_cache: dict[tuple, CharacterizationRun] = {}
+_oracle_peak_cache: dict[tuple, int] = {}
+
+
+def run_characterization(
+    phase: str,
+    policy: str,
+    settings: CharacterizationSettings | None = None,
+) -> CharacterizationRun:
+    """Single-instance run for Figure 4 (reasoning) / Figure 5 (answering).
+
+    The oracle policy runs with capacity covering the whole workload; FCFS
+    and RR run with GPU KV capped at ``capacity_fraction`` of the peak KV
+    footprint the oracle actually used (the paper's "50 % of the oracle
+    capacity" configuration).
+    """
+    settings = settings or CharacterizationSettings.for_scale()
+    key = (phase, policy, settings)
+    if key in _char_cache:
+        return _char_cache[key]
+
+    oracle_key = (phase, settings)
+    requests = _characterization_workload(phase, settings)
+    full_capacity = oracle_capacity_tokens(requests)
+
+    if oracle_key not in _oracle_peak_cache:
+        oracle_requests = _characterization_workload(phase, settings)
+        instance = InstanceConfig(kv_capacity_tokens=full_capacity)
+        config = ClusterConfig(n_instances=1, instance=instance)
+        cluster = Cluster(config, policy="oracle")
+        cluster.run_trace(oracle_requests)
+        peak = cluster.instances[0].pool.peak_gpu_tokens()
+        _oracle_peak_cache[oracle_key] = peak
+        _char_cache[(phase, "oracle", settings)] = CharacterizationRun(
+            metrics=collect(cluster),
+            oracle_peak_tokens=peak,
+            capacity_tokens=full_capacity,
+        )
+        if policy == "oracle":
+            return _char_cache[key]
+
+    peak = _oracle_peak_cache[oracle_key]
+    capped = max(1024, int(peak * settings.capacity_fraction))
+    instance = InstanceConfig(kv_capacity_tokens=capped)
+    config = ClusterConfig(n_instances=1, instance=instance)
+    cluster = Cluster(config, policy=policy)
+    cluster.run_trace(requests)
+    run = CharacterizationRun(
+        metrics=collect(cluster),
+        oracle_peak_tokens=peak,
+        capacity_tokens=capped,
+    )
+    _char_cache[key] = run
+    return run
+
+
+_capacity_cache: dict[tuple, float] = {}
+
+
+def measured_capacity_req_per_s(
+    dataset: DatasetSpec | MixedDataset,
+    settings: "EvalSettings",
+    probe_requests: int = 320,
+) -> float:
+    """Saturated service rate (requests/s) of the cluster for a dataset.
+
+    A closed-loop probe: every probe request arrives at t=0 under FCFS, so
+    the cluster runs flat out until the backlog drains.  The sustainable
+    token throughput is the slope of the cluster's cumulative-token curve
+    over the middle of the run (the makespan itself is dominated by the
+    longest request's sequential decode and would badly underestimate it);
+    dividing by the mean decode length converts it to a request rate.
+    """
+    key = (dataset.name, settings.n_instances, settings.kv_capacity_tokens)
+    if key in _capacity_cache:
+        return _capacity_cache[key]
+    # Size the probe so the backlog over-fills GPU memory: sustained
+    # throughput must be measured at full batch depth, not at whatever
+    # depth an arbitrary fixed request count happens to reach.
+    mean_kv = calibrate.mixture_mean_request_tokens(
+        dataset
+    ) - calibrate.mixture_mean_decode_tokens(dataset) / 2.0
+    resident = settings.n_instances * settings.kv_capacity_tokens / mean_kv
+    probe_requests = max(probe_requests, int(1.5 * resident))
+
+    # Stage 1: all-at-once burst gives a floor (burst admission churn
+    # biases it low).  Stage 2: Poisson at 1.4x the floor approaches the
+    # true saturated rate from below without the pathological burst.
+    estimate = _probe_rate(dataset, settings, probe_requests, None)
+    for _ in range(2):
+        estimate = max(
+            estimate,
+            _probe_rate(dataset, settings, probe_requests, 1.4 * estimate),
+        )
+    _capacity_cache[key] = estimate
+    return estimate
+
+
+def _probe_rate(
+    dataset: DatasetSpec | MixedDataset,
+    settings: "EvalSettings",
+    probe_requests: int,
+    arrival_rate: float | None,
+) -> float:
+    """Max sustained completion rate (req/s) observed in one probe run."""
+    streams = RandomStreams(1234)
+    if arrival_rate is None:
+        arrivals = [0.0] * probe_requests
+    else:
+        arrivals = arrival.poisson_arrivals(
+            arrival_rate, probe_requests, streams.stream("probe-arrivals")
+        )
+    probe = sample_trace(dataset, probe_requests, arrivals, streams)
+    mean_decode = sum(r.total_decode_tokens for r in probe) / len(probe)
+    cluster = Cluster(settings.cluster_config(), policy="fcfs")
+    cluster.submit(probe)
+    samples: list[tuple[float, int]] = []
+    while cluster.engine.step():
+        if cluster.engine.events_processed % 200 == 0:
+            total = sum(inst.tokens_generated for inst in cluster.instances)
+            samples.append((cluster.engine.now, total))
+    if len(samples) < 8:
+        raise RuntimeError("capacity probe too short to measure a slope")
+    total_tokens = samples[-1][1]
+    if total_tokens <= 0:
+        raise RuntimeError("capacity probe saw no progress")
+    # Average slope between the 25% and 90% token marks.  A window average
+    # can never exceed the true sustainable rate (unlike a max over short
+    # windows, which catches transient young-batch bursts), and by the 25%
+    # mark the age mix has reached its steady state.
+    lo = next(s for s in samples if s[1] >= 0.25 * total_tokens)
+    hi = next(s for s in samples if s[1] >= 0.90 * total_tokens)
+    if hi[0] <= lo[0]:
+        raise RuntimeError("capacity probe produced a degenerate window")
+    tokens_per_s = (hi[1] - lo[1]) / (hi[0] - lo[0])
+    return tokens_per_s / mean_decode
+
+
+_eval_cache: dict[tuple, RunMetrics] = {}
+
+
+def run_evaluation(
+    dataset: DatasetSpec | MixedDataset,
+    rate_tier: str,
+    policy: str,
+    settings: EvalSettings | None = None,
+) -> RunMetrics:
+    """One Section V cluster run; memoized per configuration."""
+    settings = settings or EvalSettings.for_scale()
+    key = (dataset.name, rate_tier, policy, settings)
+    if key in _eval_cache:
+        return _eval_cache[key]
+    rates = settings.rates_for(dataset)
+    if rate_tier not in rates:
+        raise KeyError(
+            f"unknown rate tier {rate_tier!r}; expected {sorted(rates)}"
+        )
+    trace = build_trace(
+        TraceConfig(
+            dataset=dataset,
+            n_requests=settings.n_requests_for(dataset),
+            arrival_rate_per_s=rates[rate_tier],
+            seed=settings.seed,
+        )
+    )
+    cluster = Cluster(settings.cluster_config(), policy=policy)
+    cluster.run_trace(trace)
+    if not cluster.all_finished():
+        raise RuntimeError(
+            f"run did not drain: {len(cluster.completed)}/"
+            f"{len(cluster.submitted)} finished "
+            f"({dataset.name}, {rate_tier}, {policy})"
+        )
+    metrics = collect(cluster)
+    _eval_cache[key] = metrics
+    return metrics
+
+
+def clear_caches() -> None:
+    """Reset memoized runs (used by tests)."""
+    _char_cache.clear()
+    _oracle_peak_cache.clear()
+    _eval_cache.clear()
+
+
+CHAT_DATASETS = (ALPACA_EVAL, ARENA_HARD)
+RATE_TIERS = ("low", "medium", "high")
+BASELINE_POLICIES = ("fcfs", "rr")

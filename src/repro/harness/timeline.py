@@ -1,0 +1,57 @@
+"""ASCII execution timelines (Figure 2 reproduction).
+
+Renders per-request decoding activity over discretized time slots, the way
+Figure 2 draws numbered decoding steps, preemptions and waiting periods.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workload.request import Request
+
+
+def token_slots(req: Request, all_token_times: list[float], slot_s: float) -> set[int]:
+    """Slots in which this request produced at least one token."""
+    return {int(math.floor(t / slot_s - 1e-9)) for t in all_token_times}
+
+
+def ascii_timeline(
+    requests: list[Request],
+    token_times: dict[int, list[float]],
+    slot_s: float = 1.0,
+    horizon_slots: int | None = None,
+) -> str:
+    """Grid of request rows x time-slot columns.
+
+    Cell legend: ``#`` token generated in the slot, ``.`` waiting (after
+    arrival, before completion), blank otherwise.
+    """
+    if not requests:
+        raise ValueError("no requests to draw")
+    last = max(
+        (max(times) for times in token_times.values() if times), default=0.0
+    )
+    n_slots = horizon_slots or int(math.ceil(last / slot_s)) + 1
+    lines = []
+    header = "time    " + "".join(
+        str(i % 10) for i in range(n_slots)
+    )
+    lines.append(header)
+    for req in sorted(requests, key=lambda r: r.rid):
+        slots = token_slots(req, token_times.get(req.rid, []), slot_s)
+        arrival_slot = int(math.floor(req.arrival_t / slot_s))
+        done_slot = (
+            int(math.ceil((req.done_t or last) / slot_s)) if req.done_t else n_slots
+        )
+        cells = []
+        for i in range(n_slots):
+            if i in slots:
+                cells.append("#")
+            elif arrival_slot <= i < done_slot:
+                cells.append(".")
+            else:
+                cells.append(" ")
+        lines.append(f"req {req.rid:<3d} " + "".join(cells))
+    lines.append("legend: '#' decoding, '.' waiting/preempted")
+    return "\n".join(lines)

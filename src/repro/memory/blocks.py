@@ -1,0 +1,214 @@
+"""Paged KV-cache pool with GPU/CPU residency.
+
+Models vLLM's PagedAttention block allocator at the granularity the paper's
+scheduling decisions need: each request's KV cache occupies
+``ceil(tokens / block_size)`` fixed-size blocks, wholly resident either in
+GPU HBM or (after preemption) in CPU DRAM.  The pool enforces both
+capacities and exposes the free-space queries the schedulers and the
+adaptive-migration policy rely on.
+"""
+
+from __future__ import annotations
+
+from repro.workload.request import Request
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied."""
+
+
+class KVPool:
+    """Per-instance KV cache accounting (GPU pool + CPU swap pool)."""
+
+    def __init__(
+        self,
+        gpu_capacity_tokens: int,
+        cpu_capacity_tokens: int,
+        block_size: int = 16,
+    ):
+        if gpu_capacity_tokens < 0 or cpu_capacity_tokens < 0:
+            raise ValueError("capacities must be non-negative")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = block_size
+        self.gpu_capacity_blocks = gpu_capacity_tokens // block_size
+        self.cpu_capacity_blocks = cpu_capacity_tokens // block_size
+        self.gpu_used_blocks = 0
+        self.cpu_used_blocks = 0
+        #: High-water mark of GPU usage (defines "oracle capacity").
+        self.peak_gpu_used_blocks = 0
+        #: rid -> (tokens, on_gpu); authoritative residency registry.
+        self._residency: dict[int, tuple[int, bool]] = {}
+
+    def _note_gpu_usage(self) -> None:
+        if self.gpu_used_blocks > self.peak_gpu_used_blocks:
+            self.peak_gpu_used_blocks = self.gpu_used_blocks
+
+    def peak_gpu_tokens(self) -> int:
+        """Peak GPU KV usage observed so far, in tokens."""
+        return self.peak_gpu_used_blocks * self.block_size
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to cache ``tokens`` tokens."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be non-negative, got {tokens}")
+        return -(-tokens // self.block_size)
+
+    def gpu_free_blocks(self) -> int:
+        return self.gpu_capacity_blocks - self.gpu_used_blocks
+
+    def gpu_free_tokens(self) -> int:
+        """Guaranteed-allocatable tokens on the GPU (conservative)."""
+        return self.gpu_free_blocks() * self.block_size
+
+    def gpu_used_tokens(self) -> int:
+        return sum(t for t, on_gpu in self._residency.values() if on_gpu)
+
+    def cpu_used_tokens(self) -> int:
+        return sum(t for t, on_gpu in self._residency.values() if not on_gpu)
+
+    def total_kv_tokens(self) -> int:
+        """GPU + CPU footprint: the ``m_i`` input of Algorithm 1."""
+        return sum(t for t, _ in self._residency.values())
+
+    def can_allocate_gpu(self, tokens: int) -> bool:
+        return self.blocks_for(tokens) <= self.gpu_free_blocks()
+
+    def holds(self, req: Request) -> bool:
+        return req.rid in self._residency
+
+    def on_gpu(self, req: Request) -> bool:
+        entry = self._residency.get(req.rid)
+        return entry is not None and entry[1]
+
+    # ------------------------------------------------------------------
+    # allocation lifecycle
+    # ------------------------------------------------------------------
+    def allocate(self, req: Request, tokens: int, on_gpu: bool = True) -> None:
+        """Register a request's KV cache (initial admission or migration)."""
+        if req.rid in self._residency:
+            raise OutOfMemoryError(f"request {req.rid} already allocated")
+        blocks = self.blocks_for(tokens)
+        if on_gpu:
+            if blocks > self.gpu_free_blocks():
+                raise OutOfMemoryError(
+                    f"GPU pool full: need {blocks} blocks, "
+                    f"have {self.gpu_free_blocks()}"
+                )
+            self.gpu_used_blocks += blocks
+            self._note_gpu_usage()
+        else:
+            if blocks > self.cpu_capacity_blocks - self.cpu_used_blocks:
+                raise OutOfMemoryError("CPU pool full")
+            self.cpu_used_blocks += blocks
+        self._residency[req.rid] = (tokens, on_gpu)
+        req.kv_tokens = tokens
+        req.on_gpu = on_gpu
+
+    def grow(self, req: Request, n_tokens: int = 1) -> None:
+        """Extend a GPU-resident cache by newly generated tokens."""
+        entry = self._residency.get(req.rid)
+        if entry is None:
+            raise OutOfMemoryError(f"request {req.rid} has no allocation")
+        tokens, on_gpu = entry
+        if not on_gpu:
+            raise OutOfMemoryError(
+                f"request {req.rid} cannot grow while swapped out"
+            )
+        new_tokens = tokens + n_tokens
+        delta_blocks = self.blocks_for(new_tokens) - self.blocks_for(tokens)
+        if delta_blocks > self.gpu_free_blocks():
+            raise OutOfMemoryError("GPU pool full during growth")
+        self.gpu_used_blocks += delta_blocks
+        self._note_gpu_usage()
+        self._residency[req.rid] = (new_tokens, True)
+        req.kv_tokens = new_tokens
+
+    def can_grow(self, req: Request, n_tokens: int = 1) -> bool:
+        entry = self._residency.get(req.rid)
+        if entry is None or not entry[1]:
+            return False
+        tokens = entry[0]
+        delta = self.blocks_for(tokens + n_tokens) - self.blocks_for(tokens)
+        return delta <= self.gpu_free_blocks()
+
+    def swap_out(self, req: Request) -> int:
+        """GPU -> CPU; returns tokens moved (for PCIe cost accounting)."""
+        entry = self._residency.get(req.rid)
+        if entry is None:
+            raise OutOfMemoryError(f"request {req.rid} has no allocation")
+        tokens, on_gpu = entry
+        if not on_gpu:
+            raise OutOfMemoryError(f"request {req.rid} already swapped out")
+        blocks = self.blocks_for(tokens)
+        if blocks > self.cpu_capacity_blocks - self.cpu_used_blocks:
+            raise OutOfMemoryError("CPU pool full; cannot swap out")
+        self.gpu_used_blocks -= blocks
+        self.cpu_used_blocks += blocks
+        self._residency[req.rid] = (tokens, False)
+        req.on_gpu = False
+        return tokens
+
+    def swap_in(self, req: Request) -> int:
+        """CPU -> GPU; returns tokens moved."""
+        entry = self._residency.get(req.rid)
+        if entry is None:
+            raise OutOfMemoryError(f"request {req.rid} has no allocation")
+        tokens, on_gpu = entry
+        if on_gpu:
+            raise OutOfMemoryError(f"request {req.rid} already on GPU")
+        blocks = self.blocks_for(tokens)
+        if blocks > self.gpu_free_blocks():
+            raise OutOfMemoryError("GPU pool full; cannot swap in")
+        self.cpu_used_blocks -= blocks
+        self.gpu_used_blocks += blocks
+        self._note_gpu_usage()
+        self._residency[req.rid] = (tokens, True)
+        req.on_gpu = True
+        return tokens
+
+    def release(self, req: Request) -> int:
+        """Drop a request's cache entirely (completion or migration out)."""
+        entry = self._residency.pop(req.rid, None)
+        if entry is None:
+            raise OutOfMemoryError(f"request {req.rid} has no allocation")
+        tokens, on_gpu = entry
+        blocks = self.blocks_for(tokens)
+        if on_gpu:
+            self.gpu_used_blocks -= blocks
+        else:
+            self.cpu_used_blocks -= blocks
+        req.kv_tokens = 0
+        req.on_gpu = False
+        return tokens
+
+    # ------------------------------------------------------------------
+    # invariants (exercised by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Internal consistency: registry totals match the block counters."""
+        gpu_blocks = sum(
+            self.blocks_for(t) for t, on_gpu in self._residency.values() if on_gpu
+        )
+        cpu_blocks = sum(
+            self.blocks_for(t)
+            for t, on_gpu in self._residency.values()
+            if not on_gpu
+        )
+        if gpu_blocks != self.gpu_used_blocks:
+            raise AssertionError(
+                f"GPU block leak: registry={gpu_blocks} "
+                f"counter={self.gpu_used_blocks}"
+            )
+        if cpu_blocks != self.cpu_used_blocks:
+            raise AssertionError(
+                f"CPU block leak: registry={cpu_blocks} "
+                f"counter={self.cpu_used_blocks}"
+            )
+        if self.gpu_used_blocks > self.gpu_capacity_blocks:
+            raise AssertionError("GPU pool over capacity")
+        if self.cpu_used_blocks > self.cpu_capacity_blocks:
+            raise AssertionError("CPU pool over capacity")

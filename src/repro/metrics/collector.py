@@ -1,0 +1,110 @@
+"""Per-run metric collection: everything a paper figure needs, in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SLOConfig
+from repro.metrics.slo import SLOReport, evaluate_slo
+from repro.metrics.summary import mean, percentile, tail_ttft_bins
+from repro.workload.request import Phase, Request
+
+PHASE_BUCKETS = ("executed", "blocked", "preempted")
+
+
+@dataclass
+class RunMetrics:
+    """Measurements extracted from one completed simulation run."""
+
+    policy: str
+    requests: list[Request]
+    throughput_tokens_per_s: float = 0.0
+    transfer_latencies_s: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # latency views
+    # ------------------------------------------------------------------
+    def ttfts(self) -> list[float]:
+        return [r.ttft() for r in self.requests if r.ttft() is not None]
+
+    def ttfats(self) -> list[float]:
+        return [r.ttfat() for r in self.requests if r.ttfat() is not None]
+
+    def e2e_latencies(self) -> list[float]:
+        return [
+            r.e2e_latency() for r in self.requests if r.e2e_latency() is not None
+        ]
+
+    def reasoning_latencies(self) -> list[float]:
+        return [
+            r.reasoning_latency()
+            for r in self.requests
+            if r.reasoning_latency() is not None
+        ]
+
+    def blocking_latencies(self) -> list[float]:
+        """Phase-transition blocking latency (Figure 13(c))."""
+        return [
+            r.blocking_latency()
+            for r in self.requests
+            if r.blocking_latency() is not None
+        ]
+
+    def mean_ttft(self) -> float:
+        return mean(self.ttfts())
+
+    def tail_ttft(self, pct: float = 99.0) -> float:
+        return percentile(self.ttfts(), pct)
+
+    def ttft_bins(self, bin_width: int = 256):
+        return tail_ttft_bins(self.requests, bin_width)
+
+    # ------------------------------------------------------------------
+    # phase-time breakdowns (Figures 4, 5)
+    # ------------------------------------------------------------------
+    def phase_breakdown(
+        self, phase: Phase, group_key
+    ) -> dict[int, dict[str, float]]:
+        """Mean executed/blocked/preempted seconds per request group.
+
+        ``group_key(request) -> int`` selects the x-axis bucket (e.g. the
+        request's reasoning length for Figure 4).
+        """
+        sums: dict[int, dict[str, float]] = {}
+        counts: dict[int, int] = {}
+        for req in self.requests:
+            key = group_key(req)
+            cell = sums.setdefault(key, dict.fromkeys(PHASE_BUCKETS, 0.0))
+            for bucket in PHASE_BUCKETS:
+                cell[bucket] += req.phase_time(phase, bucket)
+            counts[key] = counts.get(key, 0) + 1
+        return {
+            key: {
+                bucket: cell[bucket] / counts[key] for bucket in PHASE_BUCKETS
+            }
+            for key, cell in sums.items()
+        }
+
+    # ------------------------------------------------------------------
+    # SLO views
+    # ------------------------------------------------------------------
+    def slo_report(
+        self, slo: SLOConfig, include_ttfat: bool = False
+    ) -> SLOReport:
+        return evaluate_slo(self.requests, slo, include_ttfat=include_ttfat)
+
+    def p99_transfer_latency(self) -> float | None:
+        if not self.transfer_latencies_s:
+            return None
+        return percentile(self.transfer_latencies_s, 99.0)
+
+
+def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
+    """Snapshot a finished cluster run into a :class:`RunMetrics`."""
+    reqs = requests if requests is not None else cluster.completed
+    return RunMetrics(
+        policy=cluster.policy,
+        requests=list(reqs),
+        throughput_tokens_per_s=cluster.throughput_tokens_per_s(),
+        transfer_latencies_s=cluster.migrations.transfer_latencies(),
+    )

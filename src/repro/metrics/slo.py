@@ -1,0 +1,65 @@
+"""SLO evaluation rules (Sections III-B and V-A).
+
+Two variants mirror the paper:
+
+* **Characterization (Figure 5)** — a request meets its answering SLO when
+  its QoE, with the expected curve anchored at ``reasoning_end + TTFAT
+  target``, is at least the threshold.  Both a late first answering token
+  and a lagging stream cause failure.
+* **Evaluation (Figures 11/13/15)** — reasoning lengths vary too much for
+  a fixed TTFT target, so QoE is computed solely from TPOT (anchored at
+  the first answering token) and TTFT is reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SLOConfig
+from repro.metrics.qoe import qoe_for_request, qoe_with_ttfat
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Violation accounting over a set of finished requests."""
+
+    n_requests: int
+    n_violations: int
+    qoe_scores: tuple[float, ...]
+
+    @property
+    def violation_rate(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_violations / self.n_requests
+
+    @property
+    def attainment_rate(self) -> float:
+        return 1.0 - self.violation_rate
+
+
+def evaluate_slo(
+    requests,
+    slo: SLOConfig,
+    include_ttfat: bool = False,
+) -> SLOReport:
+    """Count SLO violations under either QoE variant."""
+    scores: list[float] = []
+    violations = 0
+    counted = 0
+    for req in requests:
+        if include_ttfat:
+            score = qoe_with_ttfat(req, slo.tpot_target_s, slo.ttfat_target_s)
+        else:
+            score = qoe_for_request(req, slo.tpot_target_s)
+        if score is None:
+            continue
+        counted += 1
+        scores.append(score)
+        if score < slo.qoe_threshold:
+            violations += 1
+    return SLOReport(
+        n_requests=counted,
+        n_violations=violations,
+        qoe_scores=tuple(scores),
+    )

@@ -1,0 +1,111 @@
+"""Profile-table performance model.
+
+The paper's simulator is *profile based*: it replays measured vLLM step
+latencies instead of computing them from first principles (Section V-A,
+citing Vidur/vTrain/Splitwise methodology).  This module reproduces that
+design: a :class:`ProfileTable` holds step latencies sampled on a
+(batch size x KV tokens) grid — here sampled from the analytical roofline
+model standing in for hardware measurements — and serves queries by bilinear
+interpolation, exactly as a profile-driven simulator would.
+
+The interpolation error of this table against its source model is what the
+simulator-validation experiment (Section V-A's MAPE numbers) quantifies.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.perfmodel.analytical import AnalyticalPerfModel, PerfModel
+
+DEFAULT_BATCH_GRID = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+DEFAULT_KV_GRID = (
+    0,
+    1_024,
+    4_096,
+    16_384,
+    32_768,
+    65_536,
+    131_072,
+    262_144,
+    524_288,
+)
+DEFAULT_PREFILL_GRID = (1, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def _interp_weight(grid: tuple[int, ...], value: float) -> tuple[int, int, float]:
+    """(lo index, hi index, weight of hi) for 1-D linear interpolation."""
+    if value <= grid[0]:
+        return 0, 0, 0.0
+    if value >= grid[-1]:
+        last = len(grid) - 1
+        return last, last, 0.0
+    hi = bisect.bisect_right(grid, value)
+    lo = hi - 1
+    span = grid[hi] - grid[lo]
+    return lo, hi, (value - grid[lo]) / span
+
+
+@dataclass
+class ProfileTable(PerfModel):
+    """Bilinear-interpolated step-latency table (a synthetic vLLM profile)."""
+
+    batch_grid: tuple[int, ...]
+    kv_grid: tuple[int, ...]
+    prefill_grid: tuple[int, ...]
+    decode_table: list[list[float]]
+    prefill_table: list[float]
+    swap_s_per_token: float
+
+    @classmethod
+    def from_model(
+        cls,
+        model: AnalyticalPerfModel,
+        batch_grid: tuple[int, ...] = DEFAULT_BATCH_GRID,
+        kv_grid: tuple[int, ...] = DEFAULT_KV_GRID,
+        prefill_grid: tuple[int, ...] = DEFAULT_PREFILL_GRID,
+    ) -> "ProfileTable":
+        """Sample a source model onto the grid ("run the profiler")."""
+        decode_table = [
+            [model.decode_step_seconds(b, k) for k in kv_grid] for b in batch_grid
+        ]
+        prefill_table = [model.prefill_seconds(p) for p in prefill_grid]
+        return cls(
+            batch_grid=tuple(batch_grid),
+            kv_grid=tuple(kv_grid),
+            prefill_grid=tuple(prefill_grid),
+            decode_table=decode_table,
+            prefill_table=prefill_table,
+            swap_s_per_token=model.swap_seconds(1),
+        )
+
+    def decode_step_seconds(self, batch_size: int, kv_tokens: int) -> float:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if kv_tokens < 0:
+            raise ValueError(f"kv_tokens must be non-negative, got {kv_tokens}")
+        b_lo, b_hi, wb = _interp_weight(self.batch_grid, batch_size)
+        k_lo, k_hi, wk = _interp_weight(self.kv_grid, kv_tokens)
+        t00 = self.decode_table[b_lo][k_lo]
+        t01 = self.decode_table[b_lo][k_hi]
+        t10 = self.decode_table[b_hi][k_lo]
+        t11 = self.decode_table[b_hi][k_hi]
+        low = t00 * (1 - wk) + t01 * wk
+        high = t10 * (1 - wk) + t11 * wk
+        return low * (1 - wb) + high * wb
+
+    def prefill_seconds(self, prompt_tokens: int) -> float:
+        if prompt_tokens < 0:
+            raise ValueError(
+                f"prompt_tokens must be non-negative, got {prompt_tokens}"
+            )
+        if prompt_tokens == 0:
+            return 0.0
+        lo, hi, w = _interp_weight(self.prefill_grid, prompt_tokens)
+        return self.prefill_table[lo] * (1 - w) + self.prefill_table[hi] * w
+
+    def swap_seconds(self, kv_tokens: int) -> float:
+        if kv_tokens < 0:
+            raise ValueError(f"kv_tokens must be non-negative, got {kv_tokens}")
+        return kv_tokens * self.swap_s_per_token

@@ -1,0 +1,44 @@
+"""Unit-cost performance model.
+
+Figure 2 of the paper reasons about scheduling in abstract "time units":
+every decode step costs one unit and everything else is free.  This model
+reproduces that setting exactly; it is also handy in unit tests, where
+physically calibrated latencies would only obscure the arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.analytical import PerfModel
+
+
+class UnitPerfModel(PerfModel):
+    """decode = ``decode_step_s`` per step, prefill/swap configurable."""
+
+    def __init__(
+        self,
+        decode_step_s: float = 1.0,
+        prefill_s: float = 0.0,
+        swap_s_per_token: float = 0.0,
+    ):
+        if decode_step_s <= 0:
+            raise ValueError("decode step must be positive")
+        if prefill_s < 0 or swap_s_per_token < 0:
+            raise ValueError("latencies must be non-negative")
+        self.decode_step_s = decode_step_s
+        self.prefill_s = prefill_s
+        self.swap_s_per_token = swap_s_per_token
+
+    def decode_step_seconds(self, batch_size: int, kv_tokens: int) -> float:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return self.decode_step_s
+
+    def prefill_seconds(self, prompt_tokens: int) -> float:
+        if prompt_tokens < 0:
+            raise ValueError("prompt_tokens must be non-negative")
+        return self.prefill_s if prompt_tokens > 0 else 0.0
+
+    def swap_seconds(self, kv_tokens: int) -> float:
+        if kv_tokens < 0:
+            raise ValueError("kv_tokens must be non-negative")
+        return kv_tokens * self.swap_s_per_token

@@ -1,0 +1,23 @@
+"""First-Come-First-Served — vLLM's default policy (Section II-C).
+
+Requests are prioritized strictly by arrival time.  Because the batch
+prefix is cut at the first request that does not fit, newly arrived
+requests block behind long-running ones (head-of-line blocking), and under
+memory pressure the *most recently arrived* running requests are the ones
+preempted — both behaviours the paper attributes to vLLM's FCFS.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import IntraScheduler
+from repro.workload.request import Request
+
+
+class FCFSScheduler(IntraScheduler):
+    """Arrival-ordered scheduling; no time-sharing quantum."""
+
+    name = "fcfs"
+    quantum_tokens = None
+
+    def priority_key(self, req: Request) -> tuple:
+        return (req.arrival_t, req.rid)

@@ -1,0 +1,35 @@
+"""Oracle scheduler: FCFS order under unconstrained GPU memory.
+
+Section III-A's "oracle configuration" gives the scheduler enough memory to
+hold the KV caches of every in-flight request, so no blocking or preemption
+ever occurs and each request runs uninterrupted from admission to
+completion.  The policy itself is plain arrival order; the harness pairs it
+with an instance whose KV capacity covers the experiment's peak demand
+(see ``oracle_capacity_tokens``).
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import IntraScheduler
+from repro.workload.request import Request
+
+
+class OracleScheduler(IntraScheduler):
+    """Arrival-ordered policy meant for an unconstrained memory pool."""
+
+    name = "oracle"
+    quantum_tokens = None
+
+    def priority_key(self, req: Request) -> tuple:
+        return (req.arrival_t, req.rid)
+
+
+def oracle_capacity_tokens(requests) -> int:
+    """KV capacity guaranteeing the oracle never blocks or preempts.
+
+    The sum of every request's *final* KV footprint upper-bounds any
+    instantaneous demand, whatever the arrival pattern.
+    """
+    total = sum(r.prompt_len + r.total_decode_tokens for r in requests)
+    # One spare block per request absorbs block-rounding slack.
+    return total + 16 * len(list(requests)) + 16

@@ -1,0 +1,276 @@
+"""One serving instance: a model replica bound to one GPU.
+
+The instance executes *engine steps* (continuous batching, Section II-B):
+each step either prefills a group of admitted prompts or decodes one token
+for every request in the running batch.  Between steps the intra-instance
+scheduler may recompute GPU residency — admitting, preempting (KV swap to
+CPU over PCIe) or resuming requests.
+
+Hot-loop discipline: the batch formed by the scheduler is *reused* across
+steps until something scheduling-relevant happens (arrival, completion,
+phase transition, quantum expiry, migration, or the KV pool running out of
+growth room).  Clean steps therefore cost O(batch size), which is what
+makes cluster-scale experiments tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import InstanceConfig
+from repro.memory.blocks import KVPool, OutOfMemoryError
+from repro.perfmodel.analytical import PerfModel
+from repro.schedulers.base import IntraScheduler, StepKind, StepPlan
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+from repro.workload.request import Phase, ReqState, Request
+
+#: Callback signatures the cluster wires up.
+TransitionHook = Callable[[Request, "ServingInstance", float], None]
+CompletionHook = Callable[[Request, float], None]
+
+
+class ServingInstance:
+    """Continuous-batching execution engine for one GPU instance."""
+
+    def __init__(
+        self,
+        iid: int,
+        config: InstanceConfig,
+        perf: PerfModel,
+        engine: SimulationEngine,
+        scheduler: IntraScheduler,
+    ):
+        self.iid = iid
+        self.config = config
+        self.perf = perf
+        self.engine = engine
+        self.scheduler = scheduler
+        self.pool = KVPool(
+            gpu_capacity_tokens=config.gpu_kv_tokens(),
+            cpu_capacity_tokens=config.cpu_kv_tokens(),
+        )
+        self.requests: set[Request] = set()
+        self.busy = False
+        self.overhead_s = 0.0
+        self._dirty = True
+        self._plan: StepPlan | None = None
+
+        #: Wired by the cluster; default no-ops keep the instance standalone.
+        self.on_transition: TransitionHook = lambda req, inst, now: None
+        self.on_complete: CompletionHook = lambda req, now: None
+
+        #: Optional shared rid -> [token time] log (timeline tooling).
+        self.token_log: dict[int, list[float]] | None = None
+
+        # counters for throughput/utilization reporting
+        self.busy_time_s = 0.0
+        self.decode_steps = 0
+        self.prefill_steps = 0
+        self.reforms = 0
+        self.tokens_generated = 0
+        self.swap_out_tokens = 0
+        self.swap_in_tokens = 0
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def admit(self, req: Request, now: float) -> None:
+        """A new request was routed here by the instance-level scheduler."""
+        req.instance_id = self.iid
+        self.requests.add(req)
+        self.scheduler.on_admit(req, now)
+        self.mark_dirty()
+        self.maybe_start_step(now)
+
+    def accept_migrated(self, req: Request, now: float) -> None:
+        """A phase-transitioned request's KV cache finished arriving."""
+        req.instance_id = self.iid
+        tokens = req.full_kv_tokens
+        on_gpu = self.pool.can_allocate_gpu(tokens)
+        self.pool.allocate(req, tokens, on_gpu=on_gpu)
+        req.set_state(ReqState.QUEUED if on_gpu else ReqState.PREEMPTED, now)
+        self.requests.add(req)
+        self.scheduler.on_admit(req, now)
+        self.mark_dirty()
+        self.maybe_start_step(now)
+
+    def depart(self, req: Request, now: float) -> None:
+        """The request is migrating away; KV is released by the migration
+        manager once the transfer lands."""
+        req.set_state(ReqState.MIGRATING, now)
+        self.requests.discard(req)
+        self.mark_dirty()
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # residency mechanics (called by schedulers during form_batch)
+    # ------------------------------------------------------------------
+    def do_allocate(self, req: Request, now: float) -> None:
+        """First admission to GPU memory (prompt KV reservation)."""
+        self.pool.allocate(req, req.full_kv_tokens, on_gpu=True)
+        if req.skip_prefill and not req.prefill_done:
+            # Figure 5 workload: the KV exists already; no prefill compute.
+            req.prefill_done = True
+            req.prefill_end_t = now
+
+    def do_swap_out(self, req: Request, now: float) -> None:
+        tokens = self.pool.swap_out(req)
+        self.overhead_s += self.perf.swap_seconds(tokens)
+        self.swap_out_tokens += tokens
+        req.set_state(ReqState.PREEMPTED, now)
+
+    def do_swap_in(self, req: Request, now: float) -> None:
+        tokens = self.pool.swap_in(req)
+        self.overhead_s += self.perf.swap_seconds(tokens)
+        self.swap_in_tokens += tokens
+        req.set_state(ReqState.QUEUED, now)
+
+    # ------------------------------------------------------------------
+    # census used by the instance-level scheduler
+    # ------------------------------------------------------------------
+    def pending_kv_tokens(self) -> int:
+        """Prospective KV demand of admitted-but-unallocated requests.
+
+        Between an arrival and its first ``form_batch`` the request holds no
+        pool blocks yet; a router that ignored this in-flight demand would
+        dogpile simultaneous arrivals onto whichever instance reports the
+        smallest allocated footprint.
+        """
+        return sum(
+            r.full_kv_tokens
+            for r in self.requests
+            if not r.finished and not self.pool.holds(r)
+        )
+
+    def total_kv_tokens(self) -> int:
+        """``m_i``: total KV footprint, GPU plus CPU plus queued demand
+        (Algorithm 1's load proxy)."""
+        return self.pool.total_kv_tokens() + self.pending_kv_tokens()
+
+    def gpu_free_tokens(self) -> int:
+        return self.pool.gpu_free_tokens()
+
+    def live_requests(self) -> list[Request]:
+        return [r for r in self.requests if not r.finished]
+
+    # ------------------------------------------------------------------
+    # step loop
+    # ------------------------------------------------------------------
+    def maybe_start_step(self, now: float) -> None:
+        """Begin the next engine step unless one is already in flight."""
+        if self.busy:
+            return
+        plan = self._plan
+        if self._dirty or plan is None:
+            plan = self.scheduler.form_batch(self, now)
+            self._plan = plan
+            self._dirty = False
+            self.reforms += 1
+        elif plan.kind == StepKind.DECODE and not self._growth_feasible(plan):
+            plan = self.scheduler.form_batch(self, now)
+            self._plan = plan
+            self._dirty = False
+            self.reforms += 1
+
+        if plan.kind == StepKind.IDLE or not plan.requests:
+            self._check_livelock(now)
+            return
+
+        # Reserve this step's tokens up front so concurrent migrations
+        # cannot consume the blocks mid-step.
+        for req in plan.requests:
+            self.pool.grow(req, 1)
+            if req.state != ReqState.RUNNING:
+                req.set_state(ReqState.RUNNING, now)
+            elif req.in_answering and req.answer_sched_t is None:
+                # Phase flipped mid-batch and the request kept its slot:
+                # its answering service starts with this step.
+                req.answer_sched_t = now
+
+        if plan.kind == StepKind.PREFILL:
+            latency = self.perf.prefill_seconds(plan.prefill_tokens)
+        else:
+            kv_total = sum(r.kv_tokens for r in plan.requests)
+            latency = self.perf.decode_step_seconds(len(plan.requests), kv_total)
+        latency += self.overhead_s
+        self.overhead_s = 0.0
+        self.busy = True
+        self.busy_time_s += latency
+        self.engine.schedule_in(latency, EventKind.STEP_COMPLETE, self)
+
+    def on_step_complete(self, now: float) -> None:
+        """Finish the in-flight step: emit tokens, react to milestones."""
+        self.busy = False
+        plan = self._plan
+        if plan is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"instance {self.iid}: step completed w/o plan")
+        if plan.kind == StepKind.PREFILL:
+            self.prefill_steps += 1
+            for req in plan.requests:
+                req.prefill_done = True
+                req.prefill_end_t = now
+                self._emit_token(req, now)
+            self.mark_dirty()
+        else:
+            self.decode_steps += 1
+            for req in plan.requests:
+                self._emit_token(req, now)
+        self.maybe_start_step(now)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _emit_token(self, req: Request, now: float) -> None:
+        was_reasoning = req.phase == Phase.REASONING
+        req.record_token(now)
+        self.tokens_generated += 1
+        if self.token_log is not None:
+            self.token_log.setdefault(req.rid, []).append(now)
+        if req.finished:
+            self.pool.release(req)
+            self.requests.discard(req)
+            self.mark_dirty()
+            self.on_complete(req, now)
+            return
+        if was_reasoning and req.phase == Phase.ANSWERING:
+            # The end-of-think token was just produced: phase boundary.
+            self.mark_dirty()
+            self.on_transition(req, self, now)
+            if req.state == ReqState.MIGRATING:
+                return
+        quantum = self.scheduler.quantum_tokens
+        if quantum is not None and req.quantum_used >= quantum:
+            self.scheduler.on_quantum_expired(req, now)
+            self.mark_dirty()
+
+    def _growth_feasible(self, plan: StepPlan) -> bool:
+        """Can every batched request take one more token without a reform?"""
+        crossings = sum(
+            1
+            for r in plan.requests
+            if r.kv_tokens % self.pool.block_size == 0
+        )
+        return crossings <= self.pool.gpu_free_blocks()
+
+    def _check_livelock(self, now: float) -> None:
+        live = self.live_requests()
+        if not live:
+            return
+        movable = [r for r in live if r.state != ReqState.MIGRATING]
+        if movable and self.pool.gpu_used_blocks == 0:
+            biggest = max(r.full_kv_tokens for r in movable)
+            raise OutOfMemoryError(
+                f"instance {self.iid}: no request fits in an empty GPU pool "
+                f"(largest footprint {biggest} tokens vs capacity "
+                f"{self.pool.gpu_capacity_blocks * self.pool.block_size}); "
+                "the workload exceeds single-request capacity"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingInstance(iid={self.iid}, live={len(self.requests)}, "
+            f"busy={self.busy}, kv={self.pool.gpu_used_blocks}blk)"
+        )

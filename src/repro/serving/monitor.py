@@ -1,0 +1,78 @@
+"""Instance monitor (Figure 6): runtime signals for placement decisions.
+
+The monitor continuously inspects each instance and reports the inputs the
+instance-level scheduler's two algorithms consume:
+
+* ``t_i``   — whether *all* answering requests on the instance currently
+  meet their SLO.  An answering request misses its SLO when its token pacer
+  reports insufficient remaining tokens (generation lagging the user's
+  expected pace) or when a phase-transitioned request has waited longer
+  than the TTFAT target for its first answering token.
+* ``m_i``   — total KV footprint (GPU + CPU), Algorithm 1's load proxy.
+* ``r_i``   — reasoning requests in the high-priority queue, and
+* ``a_i``   — answering requests still inside their first quantum,
+  Algorithm 2's interference proxies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import SLOConfig
+from repro.core.pascal import ANSWERING_BAND, band_of
+from repro.serving.instance import ServingInstance
+from repro.workload.request import Request
+
+
+def answering_starving(req: Request, now: float, slo: SLOConfig) -> bool:
+    """Pacer view: is this answering request behind the user's pace?"""
+    if req.first_answer_t is None:
+        # No answering token yet: judge against the TTFAT target.
+        if req.reasoning_end_t is None:
+            return False
+        return (now - req.reasoning_end_t) > slo.ttfat_target_s
+    if req.finished:
+        return False
+    expected = (
+        int(math.floor((now - req.first_answer_t) / slo.tpot_target_s)) + 1
+    )
+    generated = len(req.answer_token_times)
+    return generated < expected
+
+
+class InstanceMonitor:
+    """Census provider over a set of serving instances."""
+
+    def __init__(self, slo: SLOConfig):
+        self.slo = slo
+
+    def answering_slo_ok(self, inst: ServingInstance, now: float) -> bool:
+        """``t_i``: True iff every answering request is keeping pace."""
+        for req in inst.requests:
+            if req.finished or not req.in_answering:
+                continue
+            if answering_starving(req, now, self.slo):
+                return False
+        return True
+
+    def kv_footprint(self, inst: ServingInstance) -> int:
+        """``m_i``: total memory occupied by KV cache (GPU + CPU)."""
+        return inst.total_kv_tokens()
+
+    def reasoning_count(self, inst: ServingInstance) -> int:
+        """``r_i``: requests currently in the high-priority queue."""
+        return sum(
+            1
+            for r in inst.requests
+            if not r.finished and band_of(r) != ANSWERING_BAND
+        )
+
+    def fresh_answering_count(self, inst: ServingInstance) -> int:
+        """``a_i``: answering requests not past their first quantum."""
+        return sum(
+            1
+            for r in inst.requests
+            if not r.finished
+            and band_of(r) == ANSWERING_BAND
+            and r.level == 0
+        )

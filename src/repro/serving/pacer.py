@@ -1,0 +1,88 @@
+"""Token pacer (Andes-style, Section II-C and Figure 3).
+
+The pacer sits between the engine and the user.  Tokens generated in bursts
+are buffered and released at the user's expected reading pace (one token per
+TPOT target); when generation stalls (preemption), the user keeps digesting
+buffered tokens until the buffer runs dry — only then do they perceive
+starvation.
+
+Release times follow the recurrence::
+
+    r_0 = g_0
+    r_k = max(g_k, r_{k-1} + tpot_target)
+
+i.e. a token is released as soon as it exists, but never faster than the
+target pace.  This is the schedule the QoE metric integrates.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class TokenPacer:
+    """Per-request release schedule and starvation detector."""
+
+    def __init__(self, tpot_target_s: float):
+        if tpot_target_s <= 0:
+            raise ValueError(f"tpot target must be positive, got {tpot_target_s}")
+        self.tpot_target_s = tpot_target_s
+        self.first_token_t: float | None = None
+        self.generated = 0
+        self._last_release_t: float | None = None
+
+    def on_token(self, now: float) -> float:
+        """Record one generated token; returns its release time."""
+        self.generated += 1
+        if self.first_token_t is None:
+            self.first_token_t = now
+            self._last_release_t = now
+            return now
+        release = max(now, self._last_release_t + self.tpot_target_s)
+        self._last_release_t = release
+        return release
+
+    def expected_by(self, now: float) -> int:
+        """Tokens the user expects to have digested by ``now``.
+
+        The expectation is anchored at the first release: the user reads one
+        token immediately, then one per TPOT target.
+        """
+        if self.first_token_t is None or now < self.first_token_t:
+            return 0
+        return int(math.floor((now - self.first_token_t) / self.tpot_target_s)) + 1
+
+    def released_by(self, now: float) -> int:
+        """Tokens actually delivered to the user by ``now``.
+
+        The pacer can never deliver more than it generated, and never faster
+        than the expected pace, so this is the min of the two.
+        """
+        return min(self.expected_by(now), self.generated)
+
+    def buffered(self, now: float) -> int:
+        """Tokens generated but not yet released (the pacer's buffer)."""
+        return self.generated - self.released_by(now)
+
+    def starving(self, now: float) -> bool:
+        """True when generation lags the user's expected digestion pace.
+
+        This is the "insufficient remaining tokens" condition Algorithm 1
+        reads from each instance's token pacer.
+        """
+        return self.expected_by(now) > self.generated
+
+
+def release_schedule(token_times: list[float], tpot_target_s: float) -> list[float]:
+    """Offline pacer replay: release times for a full generation history."""
+    if tpot_target_s <= 0:
+        raise ValueError(f"tpot target must be positive, got {tpot_target_s}")
+    releases: list[float] = []
+    for i, g in enumerate(token_times):
+        if i == 0:
+            releases.append(g)
+        else:
+            if g < token_times[i - 1]:
+                raise ValueError("token times must be non-decreasing")
+            releases.append(max(g, releases[-1] + tpot_target_s))
+    return releases

@@ -1,0 +1,92 @@
+"""Simulation engine: the clock and the event dispatch loop.
+
+The engine owns the event queue and the simulated clock.  Domain objects
+(cluster, instances, migration manager) register handlers per event kind;
+the engine guarantees handlers observe a monotonically non-decreasing clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+Handler = Callable[[float, Any], None]
+
+
+class SimulationEngine:
+    """Event-driven simulation driver.
+
+    Usage::
+
+        engine = SimulationEngine()
+        engine.register(EventKind.ARRIVAL, cluster.on_arrival)
+        engine.schedule(0.0, EventKind.ARRIVAL, request)
+        engine.run()
+    """
+
+    def __init__(self, horizon_s: float = float("inf"), max_events: int = 200_000_000):
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.horizon_s = horizon_s
+        self.max_events = max_events
+        self.events_processed = 0
+        self._handlers: dict[EventKind, Handler] = {}
+        self._running = False
+
+    def register(self, kind: EventKind, handler: Handler) -> None:
+        """Bind ``handler(now, payload)`` to an event kind (one per kind)."""
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        return self.queue.push(time, kind, payload)
+
+    def schedule_in(self, delay: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` seconds from the current clock."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, kind, payload)
+
+    def run(self) -> None:
+        """Drain the event queue (or stop at the horizon / event cap)."""
+        if self._running:
+            raise RuntimeError("engine is not re-entrant")
+        self._running = True
+        try:
+            while True:
+                event = self.queue.pop()
+                if event is None:
+                    return
+                if event.time > self.horizon_s:
+                    return
+                self.now = event.time
+                self.events_processed += 1
+                if self.events_processed > self.max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely a scheduling livelock"
+                    )
+                handler = self._handlers.get(event.kind)
+                if handler is None:
+                    raise RuntimeError(f"no handler registered for {event.kind}")
+                handler(event.time, event.payload)
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None or event.time > self.horizon_s:
+            return False
+        self.now = event.time
+        self.events_processed += 1
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise RuntimeError(f"no handler registered for {event.kind}")
+        handler(event.time, event.payload)
+        return True

@@ -1,0 +1,64 @@
+"""Named, seeded random streams.
+
+Every stochastic component (arrival process, per-dataset token lengths)
+draws from its own named stream derived from a single experiment seed, so
+adding a new consumer never perturbs the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Stable 64-bit sub-seed for ``name`` under ``root_seed``."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStreams:
+    """Factory of independent ``random.Random`` streams keyed by name."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The (memoized) stream for ``name``."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(_derive_seed(self.seed, name))
+        return self._streams[name]
+
+
+def lognormal_params(mean: float, sigma: float) -> tuple[float, float]:
+    """(mu, sigma) of a lognormal with the requested *arithmetic* mean.
+
+    ``mean = exp(mu + sigma^2 / 2)`` so ``mu = ln(mean) - sigma^2 / 2``.
+    """
+    if mean <= 0:
+        raise ValueError(f"lognormal mean must be positive, got {mean}")
+    if sigma < 0:
+        raise ValueError(f"lognormal sigma must be non-negative, got {sigma}")
+    mu = math.log(mean) - sigma * sigma / 2.0
+    return mu, sigma
+
+
+def sample_lognormal_int(
+    rng: random.Random,
+    mean: float,
+    sigma: float,
+    lo: int,
+    hi: int,
+) -> int:
+    """One integer lognormal draw with the given arithmetic mean, clipped.
+
+    Clipping matches the paper's dataset histograms, whose supports are
+    bounded by the figure axes (e.g. Arena-Hard reasoning <= ~15000 tokens).
+    """
+    if lo > hi:
+        raise ValueError(f"empty clip range [{lo}, {hi}]")
+    mu, sig = lognormal_params(mean, sigma)
+    value = int(round(rng.lognormvariate(mu, sig)))
+    return max(lo, min(hi, value))

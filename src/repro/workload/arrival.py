@@ -1,0 +1,49 @@
+"""Arrival processes.
+
+All experiments in the paper use Poisson request arrivals (Sections III-A
+and V-A), evaluated at "low", "medium" and "high" rates.  The absolute rates
+are not printed in the paper, so the harness derives them from an estimated
+cluster token throughput via load factors (see ``harness/calibrate.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def poisson_arrivals(
+    rate_per_s: float,
+    n_requests: int,
+    rng: random.Random,
+    start_t: float = 0.0,
+) -> list[float]:
+    """Arrival timestamps of a homogeneous Poisson process.
+
+    Interarrival gaps are iid Exponential(rate); timestamps are cumulative.
+    """
+    if rate_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_s}")
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be non-negative, got {n_requests}")
+    times: list[float] = []
+    t = start_t
+    for _ in range(n_requests):
+        t += rng.expovariate(rate_per_s)
+        times.append(t)
+    return times
+
+
+def uniform_arrivals(
+    interval_s: float,
+    n_requests: int,
+    start_t: float = 0.0,
+) -> list[float]:
+    """Deterministic, evenly spaced arrivals (used by unit tests/examples)."""
+    if interval_s < 0:
+        raise ValueError(f"interval must be non-negative, got {interval_s}")
+    return [start_t + i * interval_s for i in range(n_requests)]
+
+
+def burst_arrivals(n_requests: int, at_t: float = 0.0) -> list[float]:
+    """All requests arrive simultaneously (closed-loop stress tests)."""
+    return [at_t] * n_requests

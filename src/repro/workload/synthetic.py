@@ -1,0 +1,103 @@
+"""Fixed-length characterization workloads (Section III-A).
+
+Two synthetic experiments isolate the two decoding phases:
+
+* **Reasoning-phase workload (Figure 4)** — 300 requests, each with a fixed
+  128-token prompt and a reasoning length drawn from {128, 256, 512, 1024,
+  2048}; answering is a single token so the measurement window ends exactly
+  when reasoning does.
+* **Answering-phase workload (Figure 5)** — 300 requests whose prefill and
+  reasoning are already complete (a 128-token KV cache exists); each then
+  generates an answering length drawn from {128, 256, 512, 1024, 2048}.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workload.request import Request
+
+#: The x-axis buckets of Figures 4 and 5.
+CHARACTERIZATION_LENGTHS = (128, 256, 512, 1024, 2048)
+
+
+def reasoning_phase_workload(
+    n_requests: int,
+    arrival_times: list[float],
+    rng: random.Random,
+    prompt_len: int = 128,
+    lengths: tuple[int, ...] = CHARACTERIZATION_LENGTHS,
+) -> list[Request]:
+    """Figure 4's workload: vary reasoning length, trivial answering."""
+    if len(arrival_times) < n_requests:
+        raise ValueError("not enough arrival times")
+    requests = []
+    for rid in range(n_requests):
+        reasoning_len = rng.choice(lengths)
+        requests.append(
+            Request(
+                rid=rid,
+                prompt_len=prompt_len,
+                reasoning_len=reasoning_len,
+                answer_len=1,
+                arrival_t=arrival_times[rid],
+                dataset="fig4-reasoning",
+            )
+        )
+    return requests
+
+
+def answering_phase_workload(
+    n_requests: int,
+    arrival_times: list[float],
+    rng: random.Random,
+    context_len: int = 128,
+    lengths: tuple[int, ...] = CHARACTERIZATION_LENGTHS,
+) -> list[Request]:
+    """Figure 5's workload: prefill+reasoning precomputed, vary answering.
+
+    The combined prompt+reasoning context is fixed at 128 tokens and its KV
+    cache is considered already generated (``skip_prefill``): admission only
+    allocates cache space, it does not re-run the prefill computation.
+    """
+    if len(arrival_times) < n_requests:
+        raise ValueError("not enough arrival times")
+    requests = []
+    for rid in range(n_requests):
+        answer_len = rng.choice(lengths)
+        request = Request(
+            rid=rid,
+            prompt_len=context_len,
+            reasoning_len=0,
+            answer_len=answer_len,
+            arrival_t=arrival_times[rid],
+            skip_prefill=True,
+            dataset="fig5-answering",
+        )
+        request.mark_reasoning_precomputed(arrival_times[rid])
+        requests.append(request)
+    return requests
+
+
+def fixed_length_requests(
+    n_requests: int,
+    prompt_len: int,
+    reasoning_len: int,
+    answer_len: int,
+    arrival_times: list[float],
+    dataset: str = "fixed",
+) -> list[Request]:
+    """Homogeneous requests (unit tests, Figure 2 timeline demo)."""
+    if len(arrival_times) < n_requests:
+        raise ValueError("not enough arrival times")
+    return [
+        Request(
+            rid=rid,
+            prompt_len=prompt_len,
+            reasoning_len=reasoning_len,
+            answer_len=answer_len,
+            arrival_t=arrival_times[rid],
+            dataset=dataset,
+        )
+        for rid in range(n_requests)
+    ]

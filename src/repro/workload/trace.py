@@ -1,0 +1,57 @@
+"""Trace assembly: datasets + arrival processes -> request lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import RandomStreams
+from repro.workload import arrival
+from repro.workload.datasets import DatasetSpec, MixedDataset, sample_trace
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """How to build one serving trace."""
+
+    dataset: DatasetSpec | MixedDataset
+    n_requests: int
+    arrival_rate_per_s: float
+    seed: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def build_trace(config: TraceConfig) -> list[Request]:
+    """Materialize a Poisson-arrival trace for one dataset/mixture."""
+    streams = RandomStreams(config.seed)
+    arrivals = arrival.poisson_arrivals(
+        config.arrival_rate_per_s,
+        config.n_requests,
+        streams.stream(f"arrivals:{config.name}"),
+    )
+    return sample_trace(config.dataset, config.n_requests, arrivals, streams)
+
+
+def trace_token_stats(requests: list[Request]) -> dict[str, float]:
+    """Summary statistics of a trace (used by distribution benchmarks)."""
+    if not requests:
+        raise ValueError("empty trace")
+    n = len(requests)
+    reasoning = [r.reasoning_len for r in requests]
+    answering = [r.answer_len for r in requests]
+    prompts = [r.prompt_len for r in requests]
+    return {
+        "n_requests": float(n),
+        "prompt_mean": sum(prompts) / n,
+        "reasoning_mean": sum(reasoning) / n,
+        "reasoning_max": float(max(reasoning)),
+        "answering_mean": sum(answering) / n,
+        "answering_max": float(max(answering)),
+        "total_tokens": float(
+            sum(prompts) + sum(reasoning) + sum(answering)
+        ),
+        "frac_reasoning_under_1000": sum(1 for x in reasoning if x < 1000) / n,
+    }

@@ -1,0 +1,49 @@
+"""Shared fixtures: standalone instances driven by a unit-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import InstanceConfig, SchedulerConfig
+from repro.perfmodel.unit import UnitPerfModel
+from repro.schedulers.base import IntraScheduler
+from repro.serving.instance import ServingInstance
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+
+
+def build_instance(
+    scheduler: IntraScheduler,
+    capacity_tokens: int = 64,
+    cpu_tokens: int = 10_000,
+    decode_step_s: float = 1.0,
+    quantum: int = 4,
+    swap_s_per_token: float = 0.0,
+) -> tuple[SimulationEngine, ServingInstance]:
+    """A single instance wired to its own engine, unit-cost latencies."""
+    engine = SimulationEngine()
+    config = InstanceConfig(
+        kv_capacity_tokens=capacity_tokens,
+        cpu_kv_bytes=cpu_tokens * InstanceConfig().model.kv_bytes_per_token,
+        scheduler=SchedulerConfig(token_quantum=quantum),
+    )
+    perf = UnitPerfModel(
+        decode_step_s=decode_step_s, swap_s_per_token=swap_s_per_token
+    )
+    inst = ServingInstance(
+        iid=0, config=config, perf=perf, engine=engine, scheduler=scheduler
+    )
+    engine.register(
+        EventKind.STEP_COMPLETE, lambda now, payload: payload.on_step_complete(now)
+    )
+    return engine, inst
+
+
+@pytest.fixture
+def run_to_completion():
+    """Drive an instance's engine until it drains."""
+
+    def _run(engine: SimulationEngine):
+        engine.run()
+
+    return _run

@@ -1,0 +1,153 @@
+"""Direct unit tests of the shared batch-formation mechanism.
+
+The behavioral suites exercise ``form_batch`` through full simulations;
+these tests pin down the StepPlan contract itself: prefix semantics,
+prefill priority, residency changes and the batch/memory limits.
+"""
+
+import pytest
+
+from repro.schedulers.base import StepKind, StepPlan
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.workload.request import ReqState, Request
+from tests.conftest import build_instance
+
+
+def request(rid, prompt=8, reasoning=4, answer=4, arrival=0.0):
+    return Request(
+        rid=rid,
+        prompt_len=prompt,
+        reasoning_len=reasoning,
+        answer_len=answer,
+        arrival_t=arrival,
+    )
+
+
+def admitted(inst, req, now=0.0):
+    """Register a request with the scheduler without starting steps."""
+    req.instance_id = inst.iid
+    inst.requests.add(req)
+    inst.scheduler.on_admit(req, now)
+    return req
+
+
+class TestStepPlan:
+    def test_batch_size(self):
+        plan = StepPlan(StepKind.DECODE, [object(), object()])
+        assert plan.batch_size == 2
+
+    def test_idle_plan_empty(self):
+        assert StepPlan(StepKind.IDLE).requests == []
+
+
+class TestPrefillPriority:
+    def test_new_requests_prefill_before_decode(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=640)
+        resident = admitted(inst, request(0))
+        inst.do_allocate(resident, 0.0)
+        resident.prefill_done = True
+        newcomer = admitted(inst, request(1, arrival=1.0))
+        plan = inst.scheduler.form_batch(inst, 1.0)
+        assert plan.kind == StepKind.PREFILL
+        assert plan.requests == [newcomer]
+        assert plan.prefill_tokens == newcomer.prompt_len
+
+    def test_decode_when_everyone_prefilled(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=640)
+        for rid in range(3):
+            req = admitted(inst, request(rid))
+            inst.do_allocate(req, 0.0)
+            req.prefill_done = True
+        plan = inst.scheduler.form_batch(inst, 0.0)
+        assert plan.kind == StepKind.DECODE
+        assert plan.batch_size == 3
+
+    def test_prefill_budget_limits_wave(self):
+        from repro.config import InstanceConfig, SchedulerConfig
+
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=100_000)
+        inst.config = InstanceConfig(
+            kv_capacity_tokens=100_000,
+            scheduler=SchedulerConfig(max_prefill_tokens=100),
+        )
+        first = admitted(inst, request(0, prompt=80))
+        second = admitted(inst, request(1, prompt=80, arrival=0.1))
+        plan = inst.scheduler.form_batch(inst, 0.2)
+        assert plan.kind == StepKind.PREFILL
+        assert plan.requests == [first]
+
+
+class TestPrefixSemantics:
+    def test_admission_allocates_in_priority_order(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=48)
+        early = admitted(inst, request(0, prompt=17))
+        late = admitted(inst, request(1, prompt=17, arrival=1.0))
+        plan = inst.scheduler.form_batch(inst, 1.0)
+        # Three blocks: early takes 2 (17+1 tokens), late's 2 don't fit.
+        assert early in plan.requests
+        assert late not in plan.requests
+        assert inst.pool.holds(early)
+        assert not inst.pool.holds(late)
+
+    def test_no_leapfrog_past_blocked_head(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
+        resident = admitted(inst, request(0, prompt=30))
+        inst.do_allocate(resident, 0.0)
+        resident.prefill_done = True
+        big = admitted(inst, request(1, prompt=33, arrival=1.0))
+        small = admitted(inst, request(2, prompt=1, arrival=2.0))
+        plan = inst.scheduler.form_batch(inst, 2.0)
+        # big (3 blocks) doesn't fit behind resident (2 blocks of 4);
+        # small must not jump the queue even though it would fit.
+        assert not inst.pool.holds(big)
+        assert not inst.pool.holds(small)
+        assert plan.requests == [resident]
+
+    def test_eviction_of_prefix_overflow(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
+        first = admitted(inst, request(0, prompt=30))
+        inst.do_allocate(first, 0.0)
+        first.prefill_done = True
+        second = admitted(inst, request(1, prompt=16, arrival=1.0))
+        inst.do_allocate(second, 1.0)
+        second.prefill_done = True
+        second.set_state(ReqState.RUNNING, 1.0)
+        # Grow first to 33 tokens (3 blocks): 3 + second's 2-block need
+        # no longer fit in the 4-block pool.
+        inst.pool.grow(first, 3)
+        plan = inst.scheduler.form_batch(inst, 2.0)
+        assert plan.requests == [first]
+        assert second.state == ReqState.PREEMPTED
+        assert not second.on_gpu
+
+    def test_swap_in_on_reform_when_room_frees(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
+        victim = admitted(inst, request(0, prompt=30))
+        inst.do_allocate(victim, 0.0)
+        victim.prefill_done = True
+        inst.do_swap_out(victim, 1.0)
+        plan = inst.scheduler.form_batch(inst, 2.0)
+        assert victim in plan.requests
+        assert victim.on_gpu
+
+
+class TestExternalPins:
+    def test_migrating_kv_is_off_limits(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
+        ghost = request(9, prompt=33)
+        inst.pool.allocate(ghost, 33)  # simulates KV pinned mid-migration
+        waiting = admitted(inst, request(1, prompt=30, arrival=1.0))
+        plan = inst.scheduler.form_batch(inst, 1.0)
+        # Only 1 block remains after the ghost's 3; waiting needs 2.
+        assert waiting not in plan.requests
+        assert not inst.pool.holds(waiting)
+
+    def test_finished_requests_ignored(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=640)
+        done = request(0)
+        done.state = ReqState.FINISHED
+        inst.requests.add(done)
+        live = admitted(inst, request(1, arrival=1.0))
+        plan = inst.scheduler.form_batch(inst, 1.0)
+        assert done not in plan.requests
+        assert live in plan.requests

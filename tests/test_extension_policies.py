@@ -1,0 +1,110 @@
+"""Tests for the extension policies: pascal-ri-only and phase-partitioned."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig, SLOConfig
+from repro.core.placement import AnsweringPlacement
+from repro.perfmodel.unit import UnitPerfModel
+from repro.serving.monitor import InstanceMonitor
+from repro.workload.request import Request
+from tests.test_placement import answering_request, instance_with_kv, reasoning_request
+
+
+def cluster_of(policy, n_instances=2, capacity=2000):
+    config = ClusterConfig(
+        n_instances=n_instances,
+        instance=InstanceConfig(
+            kv_capacity_tokens=capacity,
+            scheduler=SchedulerConfig(token_quantum=50),
+        ),
+    )
+    return Cluster(config, policy=policy, perf=UnitPerfModel(0.02))
+
+
+def workload(n=12):
+    return [
+        Request(rid=i, prompt_len=16, reasoning_len=40, answer_len=30,
+                arrival_t=0.05 * i)
+        for i in range(n)
+    ]
+
+
+class TestRiOnlyFallback:
+    def test_fallback_flag_changes_selection(self):
+        monitor = InstanceMonitor(SLOConfig())
+        # Both instances violate their SLO; a hosts one reasoning request,
+        # b hosts none but two fresh answering requests.
+        a = instance_with_kv(0, 0)
+        b = instance_with_kv(1, 0)
+        for inst in (a, b):
+            bad = answering_request(90 + inst.iid, first_answer_t=0.0, tokens=1)
+            bad.level = 3
+            inst.requests.add(bad)
+        a.requests.add(reasoning_request(201))
+        for i in range(2):
+            fresh = answering_request(400 + i, first_answer_t=4.9, tokens=60)
+            inst_b_req = fresh
+            inst_b_req.level = 0
+            b.requests.add(inst_b_req)
+
+        full = AnsweringPlacement(monitor, use_fresh_fallback=True)
+        ri_only = AnsweringPlacement(monitor, use_fresh_fallback=False)
+        req = answering_request(1)
+        # Full heuristic penalizes b's fresh answering crowd; r_i-only
+        # sees only reasoning counts and picks b.
+        assert full.select([a, b], req, 5.0).iid == 0
+        assert ri_only.select([a, b], req, 5.0).iid == 1
+
+    def test_ri_only_policy_runs_end_to_end(self):
+        cluster = cluster_of("pascal-ri-only")
+        requests = workload()
+        cluster.run_trace(requests)
+        assert cluster.all_finished()
+        assert cluster.answering_placement.use_fresh_fallback is False
+
+    def test_full_pascal_keeps_fallback_enabled(self):
+        cluster = cluster_of("pascal")
+        assert cluster.answering_placement.use_fresh_fallback is True
+
+
+class TestPhasePartitioned:
+    def test_pools_split_the_cluster(self):
+        cluster = cluster_of("phase-partitioned", n_instances=4)
+        assert [i.iid for i in cluster.reasoning_pool] == [0, 1]
+        assert [i.iid for i in cluster.answering_pool] == [2, 3]
+
+    def test_single_instance_degenerates_gracefully(self):
+        cluster = cluster_of("phase-partitioned", n_instances=1)
+        requests = workload(6)
+        cluster.run_trace(requests)
+        assert cluster.all_finished()
+        # With one instance there is nowhere to migrate to.
+        assert len(cluster.migrations.completed) == 0
+
+    def test_every_request_migrates_once(self):
+        cluster = cluster_of("phase-partitioned", n_instances=2)
+        requests = workload()
+        cluster.run_trace(requests)
+        assert cluster.all_finished()
+        assert all(r.n_migrations == 1 for r in requests)
+
+    def test_reasoning_runs_only_on_reasoning_pool(self):
+        cluster = cluster_of("phase-partitioned", n_instances=4)
+        requests = workload()
+        cluster.run_trace(requests)
+        answering_ids = {i.iid for i in cluster.answering_pool}
+        for req in requests:
+            # Final placement is an answering instance.
+            assert req.instance_id in answering_ids
+
+    def test_partitioned_uses_rr_intra_scheduler(self):
+        cluster = cluster_of("phase-partitioned")
+        assert cluster.instances[0].scheduler.name == "rr"
+
+    def test_zero_reasoning_requests_complete_in_reasoning_pool(self):
+        cluster = cluster_of("phase-partitioned", n_instances=2)
+        req = Request(rid=0, prompt_len=16, reasoning_len=0, answer_len=10)
+        cluster.run_trace([req])
+        assert req.finished
+        assert req.n_migrations == 0

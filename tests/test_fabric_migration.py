@@ -1,0 +1,125 @@
+"""Fabric bandwidth model and migration lifecycle tests."""
+
+import pytest
+
+from repro.cluster.fabric import Fabric
+from repro.config import FabricConfig
+
+
+class TestFabricConfig:
+    def test_transfer_seconds(self):
+        cfg = FabricConfig(link_bandwidth=12.5e9, base_latency_s=0.002)
+        # 2048 tokens * 256 KiB = 512 MiB over 12.5 GB/s ~ 43 ms + base.
+        n_bytes = 2048 * 262_144
+        assert cfg.transfer_seconds(n_bytes) == pytest.approx(
+            0.002 + n_bytes / 12.5e9
+        )
+
+    def test_paper_scale_transfer_is_tens_of_ms(self):
+        # The paper cites ~40 ms for a 2048-token KV cache.
+        cfg = FabricConfig()
+        assert 0.02 < cfg.transfer_seconds(2048 * 262_144) < 0.08
+
+
+class TestFabric:
+    def test_idle_transfer_starts_immediately(self):
+        fabric = Fabric(FabricConfig(), n_instances=4)
+        start, end = fabric.reserve_transfer(0, 1, 1e9, now=5.0)
+        assert start == 5.0
+        assert end > start
+
+    def test_same_nic_transfers_queue_fifo(self):
+        fabric = Fabric(FabricConfig(), n_instances=4)
+        _, end1 = fabric.reserve_transfer(0, 1, 1e9, now=0.0)
+        start2, end2 = fabric.reserve_transfer(0, 2, 1e9, now=0.0)
+        assert start2 == pytest.approx(end1)
+        assert end2 > end1
+
+    def test_disjoint_pairs_run_concurrently(self):
+        fabric = Fabric(FabricConfig(), n_instances=4)
+        _, end1 = fabric.reserve_transfer(0, 1, 1e9, now=0.0)
+        start2, _ = fabric.reserve_transfer(2, 3, 1e9, now=0.0)
+        assert start2 == 0.0
+
+    def test_destination_contention(self):
+        fabric = Fabric(FabricConfig(), n_instances=4)
+        _, end1 = fabric.reserve_transfer(0, 2, 1e9, now=0.0)
+        start2, _ = fabric.reserve_transfer(1, 2, 1e9, now=0.0)
+        assert start2 == pytest.approx(end1)
+
+    def test_stats(self):
+        fabric = Fabric(FabricConfig(), n_instances=2)
+        fabric.reserve_transfer(0, 1, 5e8, now=0.0)
+        fabric.reserve_transfer(1, 0, 5e8, now=10.0)
+        assert fabric.transfers == 2
+        assert fabric.bytes_moved == 1e9
+
+    def test_self_transfer_rejected(self):
+        fabric = Fabric(FabricConfig(), n_instances=2)
+        with pytest.raises(ValueError):
+            fabric.reserve_transfer(1, 1, 1e6, now=0.0)
+
+    def test_negative_bytes_rejected(self):
+        fabric = Fabric(FabricConfig(), n_instances=2)
+        with pytest.raises(ValueError):
+            fabric.reserve_transfer(0, 1, -1.0, now=0.0)
+
+    def test_needs_at_least_one_instance(self):
+        with pytest.raises(ValueError):
+            Fabric(FabricConfig(), n_instances=0)
+
+
+class TestMigrationLifecycle:
+    def build_cluster(self):
+        from repro.cluster.cluster import Cluster
+        from repro.config import ClusterConfig, InstanceConfig
+        from repro.perfmodel.unit import UnitPerfModel
+
+        config = ClusterConfig(
+            n_instances=2,
+            instance=InstanceConfig(kv_capacity_tokens=1600),
+        )
+        return Cluster(config, policy="pascal", perf=UnitPerfModel(0.01))
+
+    def test_migration_moves_kv_between_pools(self):
+        from repro.workload.request import Request
+
+        cluster = self.build_cluster()
+        src, dst = cluster.instances
+        req = Request(rid=1, prompt_len=64, reasoning_len=2, answer_len=4)
+        src.admit(req, 0.0)
+        # Run a couple of steps so the request is allocated and decoding.
+        for _ in range(40):
+            if not cluster.engine.step():
+                break
+        assert req.finished
+        assert src.pool.gpu_used_blocks == 0
+        assert dst.pool.gpu_used_blocks == 0
+
+    def test_transfer_latencies_recorded(self):
+        from repro.workload.request import Request
+
+        cluster = self.build_cluster()
+        src = cluster.instances[0]
+        # Load the destination choice: both empty, Algorithm 2 picks the
+        # other instance (fewest reasoning requests, tie -> lowest id).
+        req = Request(rid=1, prompt_len=64, reasoning_len=3, answer_len=3)
+        src.admit(req, 0.0)
+        cluster.engine.run()
+        assert req.finished
+        assert req.n_migrations in (0, 1)
+        if req.n_migrations:
+            lat = cluster.migrations.transfer_latencies()
+            assert len(lat) == 1
+            assert lat[0] > 0
+            assert req.transfer_wait_s == pytest.approx(lat[0])
+
+    def test_migration_manager_rejects_self_migration(self):
+        cluster = self.build_cluster()
+        from repro.workload.request import Request
+
+        req = Request(rid=1, prompt_len=16, reasoning_len=2, answer_len=2)
+        inst = cluster.instances[0]
+        inst.admit(req, 0.0)
+        with pytest.raises(ValueError):
+            cluster.migrations.start(req, inst, inst, 0.0)

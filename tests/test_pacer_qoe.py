@@ -1,0 +1,154 @@
+"""Token pacer and QoE metric tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.qoe import qoe_score
+from repro.serving.pacer import TokenPacer, release_schedule
+
+
+class TestTokenPacer:
+    def test_first_token_released_immediately(self):
+        pacer = TokenPacer(0.1)
+        assert pacer.on_token(5.0) == 5.0
+        assert pacer.first_token_t == 5.0
+
+    def test_burst_is_smoothed(self):
+        pacer = TokenPacer(0.1)
+        releases = [pacer.on_token(1.0) for _ in range(4)]
+        assert releases == pytest.approx([1.0, 1.1, 1.2, 1.3])
+
+    def test_slow_generation_released_on_arrival(self):
+        pacer = TokenPacer(0.1)
+        pacer.on_token(1.0)
+        assert pacer.on_token(2.0) == 2.0
+
+    def test_expected_by_counts_user_pace(self):
+        pacer = TokenPacer(0.1)
+        pacer.on_token(1.0)
+        assert pacer.expected_by(0.9) == 0
+        assert pacer.expected_by(1.0) == 1
+        assert pacer.expected_by(1.25) == 3
+        assert pacer.expected_by(1.95) == 10
+
+    def test_released_capped_by_generated(self):
+        pacer = TokenPacer(0.1)
+        pacer.on_token(1.0)
+        pacer.on_token(1.0)
+        assert pacer.released_by(10.0) == 2
+
+    def test_buffered_and_starving(self):
+        pacer = TokenPacer(0.1)
+        for _ in range(5):
+            pacer.on_token(1.0)
+        # 5 tokens buffered; user digests one per 100 ms from t=1.0.
+        assert pacer.buffered(1.0) == 4
+        assert not pacer.starving(1.3)
+        # After 0.5s the user expects 6 tokens but only 5 exist.
+        assert pacer.starving(1.5)
+
+    def test_invalid_tpot_rejected(self):
+        with pytest.raises(ValueError):
+            TokenPacer(0.0)
+
+
+class TestReleaseSchedule:
+    def test_matches_online_pacer(self):
+        times = [1.0, 1.0, 1.0, 2.0, 5.0]
+        offline = release_schedule(times, 0.1)
+        pacer = TokenPacer(0.1)
+        online = [pacer.on_token(t) for t in times]
+        assert offline == online
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            release_schedule([2.0, 1.0], 0.1)
+
+    def test_rejects_bad_tpot(self):
+        with pytest.raises(ValueError):
+            release_schedule([1.0], 0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_releases_monotone_and_paced(self, raw_times):
+        times = sorted(raw_times)
+        releases = release_schedule(times, 0.1)
+        for i in range(1, len(releases)):
+            assert releases[i] >= releases[i - 1] + 0.1 - 1e-12
+        for g, r in zip(times, releases):
+            assert r >= g
+
+
+class TestQoE:
+    def test_perfect_pacing_scores_one(self):
+        times = [1.0 + 0.1 * k for k in range(20)]
+        assert qoe_score(times, 0.1) == pytest.approx(1.0)
+
+    def test_single_token_scores_one(self):
+        assert qoe_score([3.0], 0.1) == pytest.approx(1.0)
+
+    def test_fast_generation_scores_one(self):
+        # Generation faster than the user's pace: pacer smooths, QoE = 1.
+        times = [1.0 + 0.01 * k for k in range(30)]
+        assert qoe_score(times, 0.1) == pytest.approx(1.0)
+
+    def test_mid_stream_stall_lowers_score(self):
+        times = [1.0 + 0.1 * k for k in range(10)]
+        times += [times[-1] + 30.0 + 0.1 * k for k in range(10)]
+        score = qoe_score(times, 0.1)
+        assert score < 0.95
+
+    def test_short_stall_covered_by_buffer(self):
+        # Burst of 20 tokens at t=1 buys 2 s of buffer; a 1 s gap is hidden.
+        times = [1.0] * 20 + [2.0 + 0.1 * k for k in range(5)]
+        assert qoe_score(times, 0.1) == pytest.approx(1.0)
+
+    def test_anchor_penalizes_late_start(self):
+        # Tokens keep perfect pace but start 5 s after the anchor.
+        times = [5.0 + 0.1 * k for k in range(10)]
+        anchored = qoe_score(times, 0.1, anchor_t=0.0)
+        free = qoe_score(times, 0.1)
+        assert free == pytest.approx(1.0)
+        assert anchored < 0.5
+
+    def test_anchor_after_start_does_not_exceed_one(self):
+        times = [1.0 + 0.1 * k for k in range(10)]
+        assert qoe_score(times, 0.1, anchor_t=50.0) == 1.0
+
+    def test_empty_times_rejected(self):
+        with pytest.raises(ValueError):
+            qoe_score([], 0.1)
+
+    def test_bad_tpot_rejected(self):
+        with pytest.raises(ValueError):
+            qoe_score([1.0], -0.1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_score_always_in_unit_interval(self, raw_times, tpot):
+        score = qoe_score(sorted(raw_times), tpot)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.floats(min_value=0.5, max_value=30.0))
+    @settings(max_examples=50, deadline=None)
+    def test_longer_stall_never_improves_qoe(self, stall):
+        base = [1.0 + 0.1 * k for k in range(10)]
+        tail = [base[-1] + stall + 0.1 * k for k in range(10)]
+        longer_tail = [base[-1] + stall + 5 + 0.1 * k for k in range(10)]
+        assert qoe_score(base + longer_tail, 0.1) <= qoe_score(
+            base + tail, 0.1
+        ) + 1e-9

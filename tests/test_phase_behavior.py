@@ -1,0 +1,202 @@
+"""Small-scale integration tests of the paper's key phenomena.
+
+These distill the headline behaviours into fast, deterministic scenarios:
+head-of-line blocking under FCFS, quantum preemption under RR, PASCAL's
+reasoning-first memory priority, demotion, and phase-boundary migration.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig
+from repro.metrics.summary import percentile
+from repro.perfmodel.unit import UnitPerfModel
+from repro.workload.request import Phase, Request
+
+
+def cluster_of(policy, n_instances=1, capacity=400, quantum=50,
+               demotion=10_000, decode_s=0.05):
+    config = ClusterConfig(
+        n_instances=n_instances,
+        instance=InstanceConfig(
+            kv_capacity_tokens=capacity,
+            scheduler=SchedulerConfig(
+                token_quantum=quantum,
+                demotion_threshold_tokens=demotion,
+            ),
+        ),
+    )
+    return Cluster(config, policy=policy, perf=UnitPerfModel(decode_s))
+
+
+def mixed_requests(n_long=4, n_short=8):
+    """Long reasoning requests grow large before short ones arrive.
+
+    The shorts land at t=5, by which time the long requests' KV caches
+    have grown enough to saturate a 400-token pool — the memory-pressure
+    precondition for head-of-line blocking.
+    """
+    requests = []
+    rid = 0
+    for i in range(n_long):
+        requests.append(
+            Request(rid=rid, prompt_len=16, reasoning_len=150, answer_len=20,
+                    arrival_t=0.1 * i)
+        )
+        rid += 1
+    for i in range(n_short):
+        requests.append(
+            Request(rid=rid, prompt_len=16, reasoning_len=20, answer_len=20,
+                    arrival_t=5.0 + 0.1 * i)
+        )
+        rid += 1
+    return requests
+
+
+def short_ttfts(requests):
+    return [r.ttft() for r in requests if r.reasoning_len == 20]
+
+
+class TestHeadOfLineBlocking:
+    def test_fcfs_short_requests_wait_behind_long(self):
+        fcfs = cluster_of("fcfs")
+        fcfs_reqs = mixed_requests()
+        fcfs.run_trace(fcfs_reqs)
+
+        rr = cluster_of("rr")
+        rr_reqs = mixed_requests()
+        rr.run_trace(rr_reqs)
+
+        # RR frees the short requests from waiting behind the long ones
+        # (by a wide margin: one quantum vs full completions).
+        assert percentile(short_ttfts(rr_reqs), 50) < 0.5 * percentile(
+            short_ttfts(fcfs_reqs), 50
+        )
+
+    def test_pascal_beats_fcfs_for_short_reasoning(self):
+        pascal = cluster_of("pascal")
+        pascal_reqs = mixed_requests()
+        pascal.run_trace(pascal_reqs)
+
+        fcfs = cluster_of("fcfs")
+        fcfs_reqs = mixed_requests()
+        fcfs.run_trace(fcfs_reqs)
+
+        assert percentile(short_ttfts(pascal_reqs), 50) < percentile(
+            short_ttfts(fcfs_reqs), 50
+        )
+
+    def test_single_instance_pascal_delays_answering_behind_reasoning(self):
+        # Without a migration escape hatch, PASCAL's strict band priority
+        # makes transitioned shorts wait for reasoning work — the paper's
+        # motivation for inter-instance migration (Figure 13).
+        pascal = cluster_of("pascal")
+        pascal_reqs = mixed_requests()
+        pascal.run_trace(pascal_reqs)
+
+        rr = cluster_of("rr")
+        rr_reqs = mixed_requests()
+        rr.run_trace(rr_reqs)
+
+        pascal_ttfat = [
+            r.ttfat() for r in pascal_reqs if r.reasoning_len == 20
+        ]
+        rr_ttfat = [r.ttfat() for r in rr_reqs if r.reasoning_len == 20]
+        assert percentile(pascal_ttfat, 50) >= percentile(rr_ttfat, 50)
+
+
+class TestReasoningFirstMemory:
+    def test_reasoning_phase_uninterrupted_under_pascal(self):
+        # One answering-heavy resident plus a stream of reasoning requests:
+        # PASCAL must never preempt reasoning for answering.
+        cluster = cluster_of("pascal", capacity=600)
+        requests = mixed_requests(n_long=3, n_short=6)
+        cluster.run_trace(requests)
+        for req in requests:
+            # Preemption may delay ANSWERING, never active REASONING after
+            # admission beyond what memory forces for peers.
+            assert req.finished
+        reasoning_preempted = sum(
+            r.phase_time(Phase.REASONING, "preempted") for r in requests
+        )
+        answering_preempted = sum(
+            r.phase_time(Phase.ANSWERING, "preempted") for r in requests
+        )
+        assert answering_preempted >= reasoning_preempted
+
+
+class TestDemotion:
+    def test_giant_reasoning_request_demoted(self):
+        cluster = cluster_of(
+            "pascal", capacity=1000, quantum=50, demotion=100
+        )
+        giant = Request(rid=0, prompt_len=16, reasoning_len=400, answer_len=10)
+        small = Request(
+            rid=1, prompt_len=16, reasoning_len=30, answer_len=10,
+            arrival_t=0.5,
+        )
+        cluster.run_trace([giant, small])
+        assert giant.demoted
+        assert not small.demoted
+        assert giant.finished and small.finished
+
+
+class TestMigrationAtBoundary:
+    def test_answering_moves_to_least_reasoning_instance(self):
+        cluster = cluster_of("pascal-nonadaptive", n_instances=2,
+                             capacity=2000)
+        # Saturate instance 0 with reasoning work; a transitioning request
+        # should flee to instance 1.
+        requests = [
+            Request(rid=i, prompt_len=16, reasoning_len=60, answer_len=40,
+                    arrival_t=0.01 * i)
+            for i in range(6)
+        ]
+        cluster.run_trace(requests)
+        migrated = [r for r in requests if r.n_migrations > 0]
+        assert migrated
+        for req in migrated:
+            assert req.finished
+            assert len(req.answer_token_times) == req.answer_len
+
+    def test_phase_transition_intervals_accounted(self):
+        cluster = cluster_of("pascal-nonadaptive", n_instances=2,
+                             capacity=2000)
+        requests = [
+            Request(rid=i, prompt_len=16, reasoning_len=60, answer_len=40,
+                    arrival_t=0.01 * i)
+            for i in range(6)
+        ]
+        cluster.run_trace(requests)
+        for req in requests:
+            total = sum(req.breakdown.values())
+            assert total == pytest.approx(req.e2e_latency(), rel=1e-6)
+
+
+class TestQuantumBehaviour:
+    def test_smaller_quantum_preempts_more(self):
+        coarse = cluster_of("rr", capacity=600, quantum=100)
+        coarse_reqs = mixed_requests(n_long=4, n_short=4)
+        coarse.run_trace(coarse_reqs)
+
+        fine = cluster_of("rr", capacity=600, quantum=25)
+        fine_reqs = mixed_requests(n_long=4, n_short=4)
+        fine.run_trace(fine_reqs)
+
+        assert sum(r.n_preemptions for r in fine_reqs) >= sum(
+            r.n_preemptions for r in coarse_reqs
+        )
+
+
+class TestOracleReference:
+    def test_oracle_is_lower_bound_on_reasoning_latency(self):
+        oracle = cluster_of("oracle", capacity=1_000_000)
+        oracle_reqs = mixed_requests()
+        oracle.run_trace(oracle_reqs)
+
+        fcfs = cluster_of("fcfs", capacity=800)
+        fcfs_reqs = mixed_requests()
+        fcfs.run_trace(fcfs_reqs)
+
+        for o_req, f_req in zip(oracle_reqs, fcfs_reqs):
+            assert o_req.reasoning_latency() <= f_req.reasoning_latency() + 1e-9

@@ -1,0 +1,183 @@
+"""Request state machine and time-accounting tests."""
+
+import pytest
+
+from repro.workload.request import (
+    BUCKET_BLOCKED,
+    BUCKET_EXECUTED,
+    BUCKET_PREEMPTED,
+    Phase,
+    ReqState,
+    Request,
+)
+
+
+def make_request(reasoning=3, answer=2, arrival=0.0, **kwargs):
+    return Request(
+        rid=1,
+        prompt_len=8,
+        reasoning_len=reasoning,
+        answer_len=answer,
+        arrival_t=arrival,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_starts_in_reasoning_when_reasoning_tokens_exist(self):
+        assert make_request().phase == Phase.REASONING
+
+    def test_starts_in_answering_when_no_reasoning(self):
+        assert make_request(reasoning=0).phase == Phase.ANSWERING
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            Request(1, 0, 3, 2)
+        with pytest.raises(ValueError):
+            Request(1, 8, -1, 2)
+        with pytest.raises(ValueError):
+            Request(1, 8, 3, 0)
+
+    def test_total_and_remaining_tokens(self):
+        req = make_request(reasoning=3, answer=2)
+        assert req.total_decode_tokens == 5
+        assert req.remaining_tokens == 5
+
+
+class TestTokenAccounting:
+    def run_tokens(self, req, times):
+        req.set_state(ReqState.RUNNING, req.arrival_t)
+        for t in times:
+            req.record_token(t)
+
+    def test_phase_flips_at_end_of_reasoning(self):
+        req = make_request(reasoning=2, answer=2)
+        self.run_tokens(req, [1.0, 2.0])
+        assert req.phase == Phase.ANSWERING
+        assert req.reasoning_end_t == 2.0
+        assert req.first_answer_t is None
+
+    def test_first_answer_token_sets_ttft(self):
+        req = make_request(reasoning=2, answer=2, arrival=0.5)
+        self.run_tokens(req, [1.0, 2.0, 3.0])
+        assert req.first_answer_t == 3.0
+        assert req.ttft() == pytest.approx(2.5)
+        assert req.ttfat() == pytest.approx(1.0)
+
+    def test_completion(self):
+        req = make_request(reasoning=1, answer=2)
+        self.run_tokens(req, [1.0, 2.0, 3.0])
+        assert req.finished
+        assert req.phase == Phase.DONE
+        assert req.done_t == 3.0
+        assert req.e2e_latency() == pytest.approx(3.0)
+
+    def test_answer_token_times_recorded(self):
+        req = make_request(reasoning=1, answer=3)
+        self.run_tokens(req, [1.0, 2.0, 3.5, 4.0])
+        assert req.answer_token_times == [2.0, 3.5, 4.0]
+
+    def test_token_while_not_running_raises(self):
+        req = make_request()
+        with pytest.raises(RuntimeError):
+            req.record_token(1.0)
+
+    def test_zero_reasoning_counts_first_token_as_answer(self):
+        req = make_request(reasoning=0, answer=2)
+        req.set_state(ReqState.RUNNING, 0.0)
+        req.record_token(1.0)
+        assert req.first_answer_t == 1.0
+
+    def test_metrics_none_before_milestones(self):
+        req = make_request()
+        assert req.ttft() is None
+        assert req.ttfat() is None
+        assert req.e2e_latency() is None
+        assert req.blocking_latency() is None
+        assert req.reasoning_latency() is None
+
+
+class TestIntervalBreakdown:
+    def test_blocked_time_accumulates_in_queue(self):
+        req = make_request(arrival=0.0)
+        req.set_state(ReqState.RUNNING, 4.0)
+        assert req.phase_time(Phase.REASONING, BUCKET_BLOCKED) == 4.0
+
+    def test_preempted_time(self):
+        req = make_request(arrival=0.0)
+        req.set_state(ReqState.RUNNING, 1.0)
+        req.set_state(ReqState.PREEMPTED, 3.0)
+        req.set_state(ReqState.RUNNING, 7.0)
+        assert req.phase_time(Phase.REASONING, BUCKET_EXECUTED) == 2.0
+        assert req.phase_time(Phase.REASONING, BUCKET_PREEMPTED) == 4.0
+        assert req.n_preemptions == 1
+
+    def test_phase_boundary_splits_intervals(self):
+        req = make_request(reasoning=2, answer=1, arrival=0.0)
+        req.set_state(ReqState.RUNNING, 0.0)
+        req.record_token(1.0)
+        req.record_token(2.0)  # reasoning ends here
+        req.record_token(5.0)  # answering token, finishes
+        assert req.phase_time(Phase.REASONING, BUCKET_EXECUTED) == 2.0
+        assert req.phase_time(Phase.ANSWERING, BUCKET_EXECUTED) == 3.0
+
+    def test_breakdown_sums_to_sojourn(self):
+        req = make_request(reasoning=2, answer=2, arrival=0.0)
+        req.set_state(ReqState.RUNNING, 1.5)
+        req.record_token(2.0)
+        req.set_state(ReqState.PREEMPTED, 2.5)
+        req.set_state(ReqState.RUNNING, 4.0)
+        req.record_token(5.0)
+        req.record_token(6.0)
+        req.record_token(7.0)
+        total = sum(req.breakdown.values())
+        assert total == pytest.approx(req.e2e_latency())
+
+    def test_clock_regression_rejected(self):
+        req = make_request(arrival=5.0)
+        with pytest.raises(ValueError):
+            req.set_state(ReqState.RUNNING, 4.0)
+
+    def test_migrating_counts_as_preempted_bucket(self):
+        req = make_request(arrival=0.0)
+        req.set_state(ReqState.MIGRATING, 2.0)
+        req.set_state(ReqState.QUEUED, 5.0)
+        assert req.phase_time(Phase.REASONING, BUCKET_PREEMPTED) == 3.0
+
+
+class TestMilestones:
+    def test_first_sched_recorded_once(self):
+        req = make_request()
+        req.set_state(ReqState.RUNNING, 2.0)
+        req.set_state(ReqState.PREEMPTED, 3.0)
+        req.set_state(ReqState.RUNNING, 9.0)
+        assert req.first_sched_t == 2.0
+
+    def test_answer_sched_not_set_at_phase_flip(self):
+        # The transition re-enqueues the request; blocking latency counts
+        # from the flip until the scheduler next grants a slot.
+        req = make_request(reasoning=1, answer=2, arrival=0.0)
+        req.set_state(ReqState.RUNNING, 0.0)
+        req.record_token(1.0)  # ends reasoning while running
+        assert req.answer_sched_t is None
+        assert req.blocking_latency() is None
+
+    def test_answer_sched_after_requeue(self):
+        req = make_request(reasoning=1, answer=2, arrival=0.0)
+        req.set_state(ReqState.RUNNING, 0.0)
+        req.record_token(1.0)
+        req.set_state(ReqState.MIGRATING, 1.0)
+        req.set_state(ReqState.QUEUED, 4.0)
+        req.set_state(ReqState.RUNNING, 6.0)
+        assert req.answer_sched_t == 6.0
+        assert req.blocking_latency() == pytest.approx(5.0)
+
+    def test_mark_reasoning_precomputed(self):
+        req = make_request(reasoning=0, answer=2, arrival=3.0)
+        req.mark_reasoning_precomputed(3.0)
+        assert req.reasoning_end_t == 3.0
+
+    def test_mark_reasoning_precomputed_requires_zero_reasoning(self):
+        req = make_request(reasoning=2)
+        with pytest.raises(ValueError):
+            req.mark_reasoning_precomputed(0.0)

@@ -1,0 +1,98 @@
+"""Seeded random stream tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import (
+    RandomStreams,
+    lognormal_params,
+    sample_lognormal_int,
+)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("x")
+        b = RandomStreams(7).stream("x")
+        assert [a.random() for _ in range(10)] == [
+            b.random() for _ in range(10)
+        ]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        x = streams.stream("x")
+        y = streams.stream("y")
+        assert [x.random() for _ in range(5)] != [y.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x")
+        b = RandomStreams(2).stream("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_is_memoized(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_adding_consumer_does_not_shift_existing(self):
+        lone = RandomStreams(3)
+        value_alone = lone.stream("target").random()
+        crowded = RandomStreams(3)
+        crowded.stream("other").random()
+        value_crowded = crowded.stream("target").random()
+        assert value_alone == value_crowded
+
+
+class TestLognormalParams:
+    def test_mean_is_preserved(self):
+        mu, sigma = lognormal_params(500.0, 0.9)
+        assert math.exp(mu + sigma * sigma / 2) == pytest.approx(500.0)
+
+    def test_zero_sigma_degenerates_to_constant(self):
+        mu, sigma = lognormal_params(42.0, 0.0)
+        assert math.exp(mu) == pytest.approx(42.0)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            lognormal_params(0.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_params(-5.0, 1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            lognormal_params(10.0, -0.1)
+
+
+class TestSampleLognormalInt:
+    def test_respects_clip_bounds(self):
+        rng = RandomStreams(0).stream("clip")
+        for _ in range(500):
+            value = sample_lognormal_int(rng, 500.0, 1.5, 100, 900)
+            assert 100 <= value <= 900
+
+    def test_empty_clip_range_rejected(self):
+        rng = RandomStreams(0).stream("bad")
+        with pytest.raises(ValueError):
+            sample_lognormal_int(rng, 500.0, 1.0, 10, 5)
+
+    def test_sample_mean_tracks_requested_mean(self):
+        rng = RandomStreams(11).stream("mean")
+        samples = [
+            sample_lognormal_int(rng, 500.0, 0.8, 1, 100_000)
+            for _ in range(4000)
+        ]
+        mean = sum(samples) / len(samples)
+        assert 440 < mean < 560
+
+    @given(
+        mean=st.floats(min_value=10.0, max_value=5000.0),
+        sigma=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_integer_in_range(self, mean, sigma):
+        rng = RandomStreams(5).stream(f"h{mean}:{sigma}")
+        value = sample_lognormal_int(rng, mean, sigma, 16, 8000)
+        assert isinstance(value, int)
+        assert 16 <= value <= 8000

@@ -1,0 +1,121 @@
+"""Harness runner tests (settings plumbing, caching; no heavy sims)."""
+
+import pytest
+
+from repro.harness.runner import (
+    CharacterizationSettings,
+    CharacterizationRun,
+    EvalSettings,
+    clear_caches,
+    run_characterization,
+)
+from repro.workload.datasets import ALPACA_EVAL, ARENA_HARD, reasoning_heavy_mix
+
+
+class TestEvalSettings:
+    def test_defaults(self):
+        settings = EvalSettings()
+        assert settings.n_instances == 8
+        assert dict(settings.load_factors)["high"] > 1.0
+
+    def test_cluster_config_wires_capacity(self):
+        settings = EvalSettings(kv_capacity_tokens=12345)
+        assert settings.cluster_config().instance.gpu_kv_tokens() == 12345
+
+    def test_resident_capacity_scales_inversely_with_request_size(self):
+        settings = EvalSettings()
+        alpaca = settings.resident_request_capacity(ALPACA_EVAL)
+        arena = settings.resident_request_capacity(ARENA_HARD)
+        assert alpaca > arena  # alpaca requests are smaller
+
+    def test_resident_capacity_handles_mixtures(self):
+        settings = EvalSettings()
+        assert settings.resident_request_capacity(reasoning_heavy_mix()) > 0
+
+    def test_n_requests_floor(self):
+        settings = EvalSettings(n_requests=10, trace_residency_multiple=0.001)
+        assert settings.n_requests_for(ALPACA_EVAL) == 10
+
+    def test_n_requests_scales_with_residency(self):
+        small = EvalSettings(trace_residency_multiple=1.0)
+        big = EvalSettings(trace_residency_multiple=5.0)
+        assert big.n_requests_for(ALPACA_EVAL) >= small.n_requests_for(
+            ALPACA_EVAL
+        )
+
+    def test_for_scale_paper_is_larger(self):
+        quick = EvalSettings.for_scale("quick")
+        paper = EvalSettings.for_scale("paper")
+        assert paper.trace_residency_multiple > quick.trace_residency_multiple
+
+    def test_settings_hashable_for_memoization(self):
+        assert hash(EvalSettings()) == hash(EvalSettings())
+
+
+class TestCharacterizationSettings:
+    def test_rate_for_phases(self):
+        settings = CharacterizationSettings()
+        assert settings.rate_for("reasoning") == settings.reasoning_rate_per_s
+        assert settings.rate_for("answering") == settings.answering_rate_per_s
+        with pytest.raises(ValueError):
+            settings.rate_for("prefill")
+
+    def test_for_scale(self):
+        assert CharacterizationSettings.for_scale("quick").n_requests == 150
+        assert CharacterizationSettings.for_scale("paper").n_requests == 300
+
+
+class TestCharacterizationRunner:
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def small(self):
+        return CharacterizationSettings(
+            n_requests=20,
+            reasoning_rate_per_s=0.5,
+            answering_rate_per_s=0.5,
+        )
+
+    def test_oracle_run_and_cap_derivation(self):
+        run = run_characterization("reasoning", "oracle", self.small())
+        assert isinstance(run, CharacterizationRun)
+        assert run.oracle_peak_tokens > 0
+        assert len(run.metrics.requests) == 20
+
+    def test_constrained_capacity_is_half_of_peak(self):
+        settings = self.small()
+        oracle = run_characterization("reasoning", "oracle", settings)
+        fcfs = run_characterization("reasoning", "fcfs", settings)
+        assert fcfs.capacity_tokens == max(
+            1024, int(oracle.oracle_peak_tokens * 0.5)
+        )
+
+    def test_memoization_returns_same_object(self):
+        settings = self.small()
+        first = run_characterization("reasoning", "fcfs", settings)
+        second = run_characterization("reasoning", "fcfs", settings)
+        assert first is second
+
+    def test_answering_phase_workload_precomputed(self):
+        run = run_characterization("answering", "oracle", self.small())
+        assert all(r.reasoning_len == 0 for r in run.metrics.requests)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            run_characterization("prefill", "fcfs", self.small())
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        expected = {
+            "fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "sec5a", "sec5c",
+            "ablation-alg2", "ablation-partition",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+        assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())

@@ -1,0 +1,127 @@
+"""SLO evaluation and RunMetrics collector tests."""
+
+import pytest
+
+from repro.config import SLOConfig
+from repro.metrics.collector import RunMetrics
+from repro.metrics.qoe import qoe_for_request, qoe_with_ttfat
+from repro.metrics.slo import evaluate_slo
+from repro.workload.request import Phase, ReqState, Request
+
+
+def served_request(rid, ttfat=0.0, stall_after=None, n_tokens=30, tpot=0.1):
+    """A finished request with a controllable answering-token timeline."""
+    req = Request(rid=rid, prompt_len=8, reasoning_len=0, answer_len=n_tokens)
+    req.reasoning_end_t = 1.0
+    start = 1.0 + ttfat
+    times = []
+    t = start
+    for k in range(n_tokens):
+        if stall_after is not None and k == stall_after:
+            t += 10.0
+        times.append(t)
+        t += tpot
+    req.answer_token_times = times
+    req.first_answer_t = times[0]
+    req.done_t = times[-1]
+    return req
+
+
+class TestQoEVariants:
+    def test_tpot_anchored_ignores_late_start(self):
+        late = served_request(1, ttfat=60.0)
+        assert qoe_for_request(late, 0.1) == pytest.approx(1.0)
+
+    def test_ttfat_variant_punishes_late_start(self):
+        late = served_request(1, ttfat=60.0)
+        assert qoe_with_ttfat(late, 0.1, ttfat_target_s=0.25) < 0.5
+
+    def test_ttfat_variant_ok_within_target(self):
+        prompt_ok = served_request(1, ttfat=0.2)
+        score = qoe_with_ttfat(prompt_ok, 0.1, ttfat_target_s=0.25)
+        assert score == pytest.approx(1.0, abs=0.01)
+
+    def test_none_for_tokenless_request(self):
+        req = Request(rid=1, prompt_len=8, reasoning_len=2, answer_len=2)
+        assert qoe_for_request(req, 0.1) is None
+        assert qoe_with_ttfat(req, 0.1, 0.25) is None
+
+
+class TestEvaluateSlo:
+    def test_counts_violations(self):
+        slo = SLOConfig()
+        good = served_request(1)
+        bad = served_request(2, stall_after=15)
+        report = evaluate_slo([good, bad], slo)
+        assert report.n_requests == 2
+        assert report.n_violations == 1
+        assert report.violation_rate == 0.5
+        assert report.attainment_rate == 0.5
+
+    def test_include_ttfat_changes_result(self):
+        slo = SLOConfig()
+        late = served_request(1, ttfat=5.0)
+        relaxed = evaluate_slo([late], slo, include_ttfat=False)
+        strict = evaluate_slo([late], slo, include_ttfat=True)
+        assert relaxed.n_violations == 0
+        assert strict.n_violations == 1
+
+    def test_empty_set(self):
+        report = evaluate_slo([], SLOConfig())
+        assert report.violation_rate == 0.0
+        assert report.attainment_rate == 1.0
+
+    def test_unfinished_requests_not_counted(self):
+        pending = Request(rid=1, prompt_len=8, reasoning_len=2, answer_len=2)
+        report = evaluate_slo([pending], SLOConfig())
+        assert report.n_requests == 0
+
+
+class TestRunMetrics:
+    def build_metrics(self):
+        requests = [served_request(i, ttfat=0.1 * i) for i in range(5)]
+        return RunMetrics(policy="test", requests=requests)
+
+    def test_latency_views(self):
+        metrics = self.build_metrics()
+        assert len(metrics.ttfts()) == 5
+        assert len(metrics.ttfats()) == 5
+        assert len(metrics.e2e_latencies()) == 5
+        assert metrics.mean_ttft() > 0
+
+    def test_tail_ttft(self):
+        metrics = self.build_metrics()
+        assert metrics.tail_ttft(99) >= metrics.tail_ttft(50)
+
+    def test_phase_breakdown_grouping(self):
+        req_a = served_request(1)
+        req_a.breakdown[(Phase.ANSWERING, "executed")] = 2.0
+        req_b = served_request(2)
+        req_b.breakdown[(Phase.ANSWERING, "executed")] = 4.0
+        metrics = RunMetrics(policy="test", requests=[req_a, req_b])
+        cells = metrics.phase_breakdown(Phase.ANSWERING, lambda r: 0)
+        assert cells[0]["executed"] == pytest.approx(3.0)
+        assert cells[0]["blocked"] == 0.0
+
+    def test_slo_report_wiring(self):
+        metrics = self.build_metrics()
+        report = metrics.slo_report(SLOConfig())
+        assert report.n_requests == 5
+
+    def test_transfer_latency_percentile(self):
+        metrics = RunMetrics(
+            policy="test",
+            requests=[],
+            transfer_latencies_s=[0.01 * i for i in range(1, 101)],
+        )
+        assert metrics.p99_transfer_latency() == pytest.approx(0.9901)
+
+    def test_transfer_latency_none_when_empty(self):
+        metrics = RunMetrics(policy="test", requests=[])
+        assert metrics.p99_transfer_latency() is None
+
+    def test_blocking_latencies_only_for_transitioned(self):
+        req = served_request(1)
+        req.answer_sched_t = 1.5
+        metrics = RunMetrics(policy="test", requests=[req])
+        assert metrics.blocking_latencies() == [pytest.approx(0.5)]

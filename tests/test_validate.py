@@ -1,0 +1,74 @@
+"""Validation-harness tests (paired request metrics, run comparison)."""
+
+import pytest
+
+from repro.perfmodel.validate import (
+    ValidationReport,
+    paired_request_metrics,
+    validate_runs,
+)
+from repro.workload.request import Request
+
+
+def finished(rid, arrival=0.0, ttft=2.0, n_answer=5, tpot=0.1):
+    req = Request(
+        rid=rid, prompt_len=8, reasoning_len=3, answer_len=n_answer,
+        arrival_t=arrival,
+    )
+    first = arrival + ttft
+    req.first_answer_t = first
+    req.answer_token_times = [first + k * tpot for k in range(n_answer)]
+    req.done_t = req.answer_token_times[-1]
+    return req
+
+
+class TestPairedMetrics:
+    def test_extracts_three_series(self):
+        reqs = [finished(i) for i in range(4)]
+        e2e, ttft, tpot = paired_request_metrics(reqs)
+        assert len(e2e) == len(ttft) == len(tpot) == 4
+        assert ttft[0] == pytest.approx(2.0)
+        assert tpot[0] == pytest.approx(0.1)
+
+    def test_skips_unfinished(self):
+        pending = Request(rid=9, prompt_len=8, reasoning_len=3, answer_len=2)
+        e2e, _, _ = paired_request_metrics([finished(1), pending])
+        assert len(e2e) == 1
+
+    def test_single_token_tpot_zero(self):
+        req = finished(1, n_answer=1)
+        _, _, tpot = paired_request_metrics([req])
+        assert tpot == [0.0]
+
+
+class TestValidateRuns:
+    def test_identical_runs_have_zero_mape(self):
+        ref = [finished(i) for i in range(5)]
+        cand = [finished(i) for i in range(5)]
+        report = validate_runs(ref, cand)
+        assert report.mape_e2e_pct == 0.0
+        assert report.mape_ttft_pct == 0.0
+        assert report.n_requests == 5
+
+    def test_shifted_candidate_measured(self):
+        ref = [finished(i, ttft=2.0) for i in range(5)]
+        cand = [finished(i, ttft=2.2) for i in range(5)]
+        report = validate_runs(ref, cand)
+        assert report.mape_ttft_pct == pytest.approx(10.0)
+
+    def test_only_shared_rids_compared(self):
+        ref = [finished(i) for i in range(5)]
+        cand = [finished(i) for i in range(3)]
+        report = validate_runs(ref, cand)
+        assert report.n_requests == 3
+
+    def test_report_rows_carry_paper_values(self):
+        report = ValidationReport(1.0, 2.0, 3.0, n_requests=10)
+        rows = report.rows()
+        assert [r[0] for r in rows] == [
+            "end-to-end latency",
+            "mean TTFT",
+            "TPOT",
+        ]
+        assert [r[1] for r in rows] == [1.62, 12.6, 6.49]
+        assert [r[2] for r in rows] == [1.0, 2.0, 3.0]
