@@ -1,9 +1,10 @@
-"""Quickstart: serve a chat trace under FCFS, RR and PASCAL and compare.
+"""Quickstart: serve a chat trace under each cluster policy and compare.
 
 Builds an eight-instance cluster (the paper's evaluation deployment), runs
-the same AlpacaEval2.0-style trace through each scheduling policy, and
-prints the user-experience metrics the paper optimizes: mean/tail TTFT,
-answering-phase SLO violations, and serving throughput.
+the same AlpacaEval2.0-style trace through the paper's main policies plus
+the two extension policies (``slo-least-load``, ``length-predictive``),
+and prints the user-experience metrics the paper optimizes: mean/tail
+TTFT, answering-phase SLO violations, and serving throughput.
 
 Run:  python examples/quickstart.py
 """
@@ -23,13 +24,19 @@ def main() -> None:
 
     print("Serving 700 AlpacaEval2.0-style requests at 6.5 req/s...\n")
     header = (
-        f"{'policy':10s} {'mean TTFT':>10s} {'p99 TTFT':>10s} "
+        f"{'policy':18s} {'mean TTFT':>10s} {'p99 TTFT':>10s} "
         f"{'SLO viol':>9s} {'tokens/s':>9s} {'migrations':>10s}"
     )
     print(header)
     print("-" * len(header))
 
-    for policy in ("fcfs", "rr", "pascal"):
+    for policy in (
+        "fcfs",
+        "rr",
+        "pascal",
+        "slo-least-load",
+        "length-predictive",
+    ):
         # Identical trace for every policy: same seed, same arrivals.
         trace = build_trace(
             TraceConfig(
@@ -47,7 +54,7 @@ def main() -> None:
         ttfts = metrics.ttfts()
         slo = metrics.slo_report(config.slo)
         print(
-            f"{policy:10s} {metrics.mean_ttft():9.1f}s "
+            f"{policy:18s} {metrics.mean_ttft():9.1f}s "
             f"{percentile(ttfts, 99):9.1f}s "
             f"{100 * slo.violation_rate:8.2f}% "
             f"{metrics.throughput_tokens_per_s:9.0f} "

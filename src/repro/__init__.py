@@ -17,7 +17,9 @@ Public API quick tour::
 Subpackages:
 
 * :mod:`repro.core`      — PASCAL itself (hierarchical scheduler,
-  Algorithms 1/2, adaptive migration)
+  Algorithms 1/2, adaptive migration) plus the cluster-policy strategy
+  layer: :class:`ClusterPolicy`, the policy registry, and the extension
+  policies (``slo-least-load``, ``length-predictive``)
 * :mod:`repro.schedulers`— FCFS / RR / oracle baselines
 * :mod:`repro.serving`   — continuous-batching instance engine, token pacer
 * :mod:`repro.cluster`   — multi-instance orchestration, fabric, migration
@@ -25,18 +27,26 @@ Subpackages:
 * :mod:`repro.perfmodel` — analytical + profile-table latency models
 * :mod:`repro.memory`    — paged KV-cache pool with GPU/CPU residency
 * :mod:`repro.metrics`   — QoE, SLO and tail-latency statistics
-* :mod:`repro.harness`   — one runner per paper figure
+* :mod:`repro.harness`   — declarative per-figure experiment specs and a
+  multiprocessing sweep runner (``python -m repro.harness all --jobs 8``)
 """
 
 from repro.cluster.cluster import Cluster, POLICIES
 from repro.config import (
     ClusterConfig,
+    ExtensionPolicyConfig,
     FabricConfig,
     GPUConfig,
     InstanceConfig,
     ModelConfig,
     SchedulerConfig,
     SLOConfig,
+)
+from repro.core.policy import ClusterPolicy
+from repro.core.registry import (
+    create_policy,
+    policy_names,
+    register_policy,
 )
 from repro.metrics.collector import RunMetrics, collect
 from repro.workload.request import Phase, ReqState, Request
@@ -47,6 +57,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "ClusterPolicy",
+    "ExtensionPolicyConfig",
     "FabricConfig",
     "GPUConfig",
     "InstanceConfig",
@@ -61,4 +73,7 @@ __all__ = [
     "TraceConfig",
     "build_trace",
     "collect",
+    "create_policy",
+    "policy_names",
+    "register_policy",
 ]

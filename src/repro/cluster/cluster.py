@@ -1,26 +1,15 @@
-"""Cluster orchestration: PASCAL's two-level scheduler wired together.
+"""Cluster orchestration: engine wiring and event dispatch.
 
 A :class:`Cluster` owns the simulation engine, a pool of serving instances
-(Figure 6's "instance pool"), the instance monitor, the placement
-algorithms and the migration manager.  Policies:
+(Figure 6's "instance pool"), the instance monitor, the fabric and the
+migration manager.  Every *decision* — which intra-instance scheduler the
+instances run, where arrivals land, what happens at a phase transition —
+is delegated to a :class:`~repro.core.policy.ClusterPolicy` resolved
+through :mod:`repro.core.registry`, so the cluster core contains no
+policy-specific logic.
 
-======================  =============  ==========================  =========
-policy                  intra-instance placement                   migration
-======================  =============  ==========================  =========
-``fcfs``                FCFS           least-KV                     none
-``rr``                  RR             least-KV                     none
-``oracle``              FCFS           least-KV                     none
-``pascal``              hierarchical   Alg. 1 / Alg. 2              adaptive
-``pascal-nomigration``  hierarchical   Alg. 1 only                  none
-``pascal-nonadaptive``  hierarchical   Alg. 1 / Alg. 2              always
-``pascal-ri-only``      hierarchical   Alg. 2 w/o the a_i fallback  adaptive
-``phase-partitioned``   RR             split reasoning/answer pools always
-======================  =============  ==========================  =========
-
-``pascal-nomigration`` / ``pascal-nonadaptive`` reproduce the Figure 13 and
-Figure 15 ablations; ``pascal-ri-only`` isolates Algorithm 2's ``r_i + a_i``
-fallback claim (Section IV-B); ``phase-partitioned`` implements the
-DistServe-style explicit phase split the paper argues against (Section VII).
+See :mod:`repro.core.policies` for the paper's comparison set and
+:mod:`repro.core.extensions` for the policies beyond it.
 """
 
 from __future__ import annotations
@@ -28,51 +17,26 @@ from __future__ import annotations
 from repro.cluster.fabric import Fabric
 from repro.cluster.migration import MigrationManager
 from repro.config import ClusterConfig
-from repro.core.adaptive import AdaptiveMigrationPolicy
-from repro.core.pascal import PascalScheduler
-from repro.core.placement import (
-    AnsweringPlacement,
-    ReasoningPlacement,
-    least_kv_placement,
-)
+from repro.core.policy import ClusterPolicy
+from repro.core.registry import create_policy, policy_names
 from repro.perfmodel.analytical import AnalyticalPerfModel, PerfModel
 from repro.schedulers.base import IntraScheduler
-from repro.schedulers.fcfs import FCFSScheduler
-from repro.schedulers.oracle import OracleScheduler
-from repro.schedulers.round_robin import RoundRobinScheduler
 from repro.serving.instance import ServingInstance
 from repro.serving.monitor import InstanceMonitor
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import EventKind
 from repro.workload.request import Request
 
-POLICIES = (
-    "fcfs",
-    "rr",
-    "oracle",
-    "pascal",
-    "pascal-nomigration",
-    "pascal-nonadaptive",
-    "pascal-ri-only",
-    "phase-partitioned",
-)
+
+#: Registered policy names at import time.  Prefer
+#: :func:`repro.core.registry.policy_names` in new code: policies
+#: registered later (e.g. by plugins or tests) appear only there.
+POLICIES = policy_names()
 
 
 def make_intra_scheduler(policy: str, config: ClusterConfig) -> IntraScheduler:
     """Intra-instance scheduler instance for a cluster policy name."""
-    sched_cfg = config.instance.scheduler
-    if policy == "fcfs":
-        return FCFSScheduler()
-    if policy in ("rr", "phase-partitioned"):
-        return RoundRobinScheduler(quantum_tokens=sched_cfg.token_quantum)
-    if policy == "oracle":
-        return OracleScheduler()
-    if policy.startswith("pascal"):
-        return PascalScheduler(
-            quantum_tokens=sched_cfg.token_quantum,
-            demotion_threshold_tokens=sched_cfg.demotion_threshold_tokens,
-        )
-    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    return create_policy(policy, config).make_intra_scheduler()
 
 
 class Cluster:
@@ -81,14 +45,12 @@ class Cluster:
     def __init__(
         self,
         config: ClusterConfig,
-        policy: str,
+        policy: str | ClusterPolicy,
         perf: PerfModel | None = None,
         horizon_s: float = float("inf"),
     ):
-        if policy not in POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; expected one of {POLICIES}"
-            )
+        if isinstance(policy, str):
+            policy = create_policy(policy, config)
         self.config = config
         self.policy = policy
         self.engine = SimulationEngine(horizon_s=horizon_s)
@@ -102,7 +64,7 @@ class Cluster:
                 config=config.instance,
                 perf=self.perf,
                 engine=self.engine,
-                scheduler=make_intra_scheduler(policy, config),
+                scheduler=policy.make_intra_scheduler(),
             )
             for i in range(config.n_instances)
         ]
@@ -110,31 +72,7 @@ class Cluster:
         self.migrations = MigrationManager(
             self.engine, self.fabric, config.instance.model
         )
-
-        self._is_pascal = policy.startswith("pascal")
-        self._is_partitioned = policy == "phase-partitioned"
-        self._migration_enabled = policy in (
-            "pascal",
-            "pascal-nonadaptive",
-            "pascal-ri-only",
-        )
-        self.reasoning_placement = ReasoningPlacement(self.monitor)
-        self.answering_placement = AnsweringPlacement(
-            self.monitor,
-            use_fresh_fallback=(policy != "pascal-ri-only"),
-        )
-        self.adaptive = AdaptiveMigrationPolicy(
-            growth_headroom_tokens=config.instance.scheduler.token_quantum,
-            enabled=(policy != "pascal-nonadaptive"),
-        )
-        # DistServe-style explicit phase partitioning (the Section VII
-        # counterfactual): the first half of the pool serves reasoning,
-        # the second half answering; every transition crosses the fabric.
-        half = max(1, config.n_instances // 2)
-        self.reasoning_pool = self.instances[:half]
-        self.answering_pool = (
-            self.instances[half:] if config.n_instances > 1 else self.instances
-        )
+        policy.bind(self)
 
         self.completed: list[Request] = []
         self.submitted: list[Request] = []
@@ -149,17 +87,15 @@ class Cluster:
             inst.on_transition = self._on_phase_transition
             inst.on_complete = self._on_request_complete
 
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name
+
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, req: Request) -> None:
-        if self._is_partitioned:
-            inst = least_kv_placement(self.reasoning_pool, req, now)
-        elif self._is_pascal:
-            inst = self.reasoning_placement.select(self.instances, req, now)
-        else:
-            inst = least_kv_placement(self.instances, req, now)
-        inst.admit(req, now)
+        self.policy.place_arrival(req, now).admit(req, now)
 
     def _on_step_complete(self, now: float, inst: ServingInstance) -> None:
         inst.on_step_complete(now)
@@ -168,21 +104,7 @@ class Cluster:
         self, req: Request, src: ServingInstance, now: float
     ) -> None:
         """A request just emitted its end-of-think token on ``src``."""
-        if self._is_partitioned:
-            target = least_kv_placement(self.answering_pool, req, now)
-            if target.iid == src.iid:
-                src.scheduler.on_phase_transition_local(req, now)
-            else:
-                self.migrations.start(req, src, target, now)
-            return
-        if not self._migration_enabled:
-            src.scheduler.on_phase_transition_local(req, now)
-            return
-        target = self.answering_placement.select(self.instances, req, now)
-        if self.adaptive.should_migrate(req, src, target):
-            self.migrations.start(req, src, target, now)
-        else:
-            src.scheduler.on_phase_transition_local(req, now)
+        self.policy.on_phase_transition(req, src, now)
 
     def _on_request_complete(self, req: Request, now: float) -> None:
         self.completed.append(req)

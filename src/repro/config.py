@@ -133,6 +133,24 @@ class InstanceConfig:
 
 
 @dataclass(frozen=True)
+class ExtensionPolicyConfig:
+    """Knobs for the extension policies (beyond the paper's comparison set).
+
+    ``slo-least-load`` and ``length-predictive`` live in
+    :mod:`repro.core.extensions`; their tunables are centralized here so
+    harness code and tests construct scenarios from plain dataclasses.
+    """
+
+    #: EWMA smoothing factor of the online reasoning-length predictor.
+    predictor_alpha: float = 0.25
+    #: Predictor prior for a dataset with no observations yet (tokens).
+    predictor_prior_tokens: int = 600
+    #: ``slo-least-load``: also migrate at phase boundaries (False pins
+    #: every request to its arrival instance, like the baselines).
+    least_load_migration: bool = True
+
+
+@dataclass(frozen=True)
 class FabricConfig:
     """Inter-instance interconnect used for KV-cache migration."""
 
@@ -154,6 +172,9 @@ class ClusterConfig:
     instance: InstanceConfig = field(default_factory=InstanceConfig)
     fabric: FabricConfig = field(default_factory=FabricConfig)
     slo: SLOConfig = field(default_factory=SLOConfig)
+    extensions: ExtensionPolicyConfig = field(
+        default_factory=ExtensionPolicyConfig
+    )
 
     def with_instance(self, instance: InstanceConfig) -> "ClusterConfig":
         """Copy of this config with a replacement per-instance config."""

@@ -1,0 +1,161 @@
+"""Extension policies built on the :class:`ClusterPolicy` seam.
+
+Two scenarios beyond the paper's comparison set, both motivated by related
+work on LLM serving schedulers:
+
+* ``slo-least-load`` — SLO-aware least-loaded placement in the spirit of
+  *SLO-Aware Scheduling for Large Language Model Inferences*: route to the
+  SLO-clean instance running the fewest live requests (queue depth, not KV
+  bytes, as the load proxy) and re-balance answering requests the same way
+  at phase boundaries, subject to PASCAL's adaptive memory veto.
+* ``length-predictive`` — a length-aware PASCAL variant in the spirit of
+  *CascadeInfer: Length-Aware Scheduling of LLM Serving*: an online
+  per-dataset EWMA predicts each reasoning request's remaining tokens, and
+  arrivals are routed by *predicted future* KV footprint instead of the
+  current footprint ``m_i``.  The predictor learns only from observed phase
+  transitions — it never peeks at a request's scripted lengths.
+
+Tunables live in :class:`repro.config.ExtensionPolicyConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExtensionPolicyConfig
+from repro.core.adaptive import AdaptiveMigrationPolicy
+from repro.core.policies import PascalPolicy
+from repro.core.policy import ClusterPolicy
+from repro.core.registry import register_policy
+from repro.schedulers.base import IntraScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.serving.instance import ServingInstance
+from repro.workload.request import Request
+
+
+class ReasoningLengthPredictor:
+    """Online EWMA of reasoning lengths, keyed by dataset label.
+
+    ``observe`` feeds one completed reasoning phase; ``predict_total``
+    returns the current estimate for a request's dataset, falling back to
+    the global estimate (any dataset) and then to the configured prior.
+    """
+
+    def __init__(self, alpha: float = 0.25, prior_tokens: int = 600):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if prior_tokens < 1:
+            raise ValueError(f"prior must be >= 1 token, got {prior_tokens}")
+        self.alpha = alpha
+        self.prior_tokens = float(prior_tokens)
+        self._per_dataset: dict[str, float] = {}
+        self._global: float | None = None
+        self.n_observations = 0
+
+    def observe(self, req: Request, reasoning_tokens: int) -> None:
+        """Record one observed reasoning length (at its phase transition)."""
+        value = float(reasoning_tokens)
+        current = self._per_dataset.get(req.dataset)
+        self._per_dataset[req.dataset] = (
+            value
+            if current is None
+            else current + self.alpha * (value - current)
+        )
+        self._global = (
+            value
+            if self._global is None
+            else self._global + self.alpha * (value - self._global)
+        )
+        self.n_observations += 1
+
+    def predict_total(self, req: Request) -> float:
+        """Estimated total reasoning tokens for a request like ``req``."""
+        estimate = self._per_dataset.get(req.dataset)
+        if estimate is None:
+            estimate = self._global
+        if estimate is None:
+            estimate = self.prior_tokens
+        return estimate
+
+    def predict_remaining(self, req: Request) -> float:
+        """Estimated reasoning tokens ``req`` has still to generate."""
+        if not req.in_reasoning:
+            return 0.0
+        return max(self.predict_total(req) - req.generated_tokens, 0.0)
+
+
+@register_policy
+class SLOAwareLeastLoadPolicy(ClusterPolicy):
+    """SLO-aware least-load: route to the SLO-clean instance with the
+    fewest live requests; re-balance at phase boundaries under the
+    adaptive memory veto."""
+
+    name = "slo-least-load"
+
+    def make_intra_scheduler(self) -> IntraScheduler:
+        return RoundRobinScheduler(
+            quantum_tokens=self.config.instance.scheduler.token_quantum
+        )
+
+    def on_bind(self, cluster) -> None:
+        self.knobs: ExtensionPolicyConfig = self.config.extensions
+        self.adaptive = AdaptiveMigrationPolicy(
+            growth_headroom_tokens=self.config.instance.scheduler.token_quantum
+        )
+
+    def _load_key(self, inst: ServingInstance) -> tuple:
+        return (len(inst.live_requests()), inst.total_kv_tokens(), inst.iid)
+
+    def select(self, now: float) -> ServingInstance:
+        """SLO-clean least-load instance (all instances when none is clean)."""
+        return min(self.slo_clean_instances(now), key=self._load_key)
+
+    def place_arrival(self, req: Request, now: float) -> ServingInstance:
+        return self.select(now)
+
+    def on_phase_transition(
+        self, req: Request, src: ServingInstance, now: float
+    ) -> None:
+        if not self.knobs.least_load_migration:
+            src.scheduler.on_phase_transition_local(req, now)
+            return
+        target = self.select(now)
+        if self.adaptive.should_migrate(req, src, target):
+            self.route_transition(req, src, target, now)
+        else:
+            src.scheduler.on_phase_transition_local(req, now)
+
+
+@register_policy
+class LengthPredictivePolicy(PascalPolicy):
+    """Length-predictive PASCAL variant: Algorithm 1's ``m_i`` is replaced
+    by the *predicted future* footprint ``m_i + sum(predicted remaining
+    reasoning tokens)``, learned online from observed transitions."""
+
+    name = "length-predictive"
+
+    def on_bind(self, cluster) -> None:
+        super().on_bind(cluster)
+        knobs: ExtensionPolicyConfig = self.config.extensions
+        self.predictor = ReasoningLengthPredictor(
+            alpha=knobs.predictor_alpha,
+            prior_tokens=knobs.predictor_prior_tokens,
+        )
+
+    def predicted_footprint(self, inst: ServingInstance) -> float:
+        """Current KV footprint plus predicted reasoning growth."""
+        return inst.total_kv_tokens() + sum(
+            self.predictor.predict_remaining(r) for r in inst.live_requests()
+        )
+
+    def place_arrival(self, req: Request, now: float) -> ServingInstance:
+        return min(
+            self.slo_clean_instances(now),
+            key=lambda inst: (self.predicted_footprint(inst), inst.iid),
+        )
+
+    def on_phase_transition(
+        self, req: Request, src: ServingInstance, now: float
+    ) -> None:
+        # The end-of-think token just appeared: the one moment the
+        # reasoning length becomes observable without an oracle.
+        self.predictor.observe(req, req.generated_tokens)
+        super().on_phase_transition(req, src, now)

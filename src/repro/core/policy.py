@@ -1,0 +1,135 @@
+"""Cluster-level scheduling policies as a strategy interface.
+
+A :class:`ClusterPolicy` owns every decision that distinguishes one
+scheduling scenario from another:
+
+* which **intra-instance scheduler** each serving instance runs;
+* **placement on arrival** — which instance a new request lands on;
+* **phase-transition routing** — where a request goes when it emits its
+  end-of-think token, including whether its KV cache migrates.
+
+:class:`~repro.cluster.cluster.Cluster` is pure mechanism (engine wiring
+and event dispatch); it delegates all three decisions to its policy.  New
+scenarios therefore never touch the cluster core: subclass
+:class:`ClusterPolicy`, decorate with
+:func:`repro.core.registry.register_policy`, and the name becomes available
+to ``Cluster(config, policy="your-name")``, the harness, and the CLI.
+
+Policies are constructed per cluster (``create_policy(name, config)``) and
+bound once via :meth:`ClusterPolicy.bind`, after the instance pool, monitor
+and migration manager exist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import ClusterConfig
+from repro.schedulers.base import IntraScheduler
+from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.migration import MigrationManager
+    from repro.serving.instance import ServingInstance
+    from repro.serving.monitor import InstanceMonitor
+
+
+class ClusterPolicy:
+    """Strategy interface for one cluster scheduling scenario.
+
+    Subclasses must set :attr:`name` and implement
+    :meth:`make_intra_scheduler` and :meth:`place_arrival`; the default
+    :meth:`on_phase_transition` keeps every request on its current instance
+    (the no-migration baselines).
+    """
+
+    #: Registry key; also what ``RunMetrics.policy`` reports.
+    name: str = "base"
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self._cluster: "Cluster | None" = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, cluster: "Cluster") -> None:
+        """Attach to a cluster after its instances/monitor/fabric exist."""
+        if self._cluster is not None:
+            raise RuntimeError(
+                f"policy {self.name!r} is already bound to a cluster"
+            )
+        self._cluster = cluster
+        self.on_bind(cluster)
+
+    def on_bind(self, cluster: "Cluster") -> None:
+        """Subclass hook: build placement helpers, split pools, etc."""
+
+    @property
+    def cluster(self) -> "Cluster":
+        if self._cluster is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound yet")
+        return self._cluster
+
+    @property
+    def instances(self) -> "list[ServingInstance]":
+        return self.cluster.instances
+
+    @property
+    def monitor(self) -> "InstanceMonitor":
+        return self.cluster.monitor
+
+    @property
+    def migrations(self) -> "MigrationManager":
+        return self.cluster.migrations
+
+    # ------------------------------------------------------------------
+    # decision surface
+    # ------------------------------------------------------------------
+    def make_intra_scheduler(self) -> IntraScheduler:
+        """Fresh intra-instance scheduler (called once per instance)."""
+        raise NotImplementedError
+
+    def place_arrival(
+        self, req: Request, now: float
+    ) -> "ServingInstance":
+        """Pick the instance a newly arrived request is admitted to."""
+        raise NotImplementedError
+
+    def on_phase_transition(
+        self, req: Request, src: "ServingInstance", now: float
+    ) -> None:
+        """``req`` just emitted its end-of-think token on ``src``.
+
+        The default keeps the request where it is; policies that migrate
+        override this and typically finish with :meth:`route_transition`.
+        """
+        src.scheduler.on_phase_transition_local(req, now)
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def slo_clean_instances(self, now: float) -> "list[ServingInstance]":
+        """Instances whose answering requests all meet their SLO; when
+        every instance is violating, the whole pool (Algorithm 1/2's
+        fallback shape)."""
+        eligible = [
+            inst
+            for inst in self.instances
+            if self.monitor.answering_slo_ok(inst, now)
+        ]
+        return eligible or self.instances
+
+    def route_transition(
+        self,
+        req: Request,
+        src: "ServingInstance",
+        target: "ServingInstance",
+        now: float,
+    ) -> None:
+        """Send ``req`` to ``target``: local re-enqueue or KV migration."""
+        if target.iid == src.iid:
+            src.scheduler.on_phase_transition_local(req, now)
+        else:
+            self.migrations.start(req, src, target, now)

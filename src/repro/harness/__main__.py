@@ -2,9 +2,18 @@
 
 Usage::
 
-    python -m repro.harness list            # available experiment ids
-    python -m repro.harness fig4            # run one and print its table
-    python -m repro.harness all             # run everything (slow)
+    python -m repro.harness list                 # available experiment ids
+    python -m repro.harness --list-policies      # registered cluster policies
+    python -m repro.harness fig4                 # run one and print its table
+    python -m repro.harness fig12 fig13          # run several
+    python -m repro.harness all                  # run everything
+    python -m repro.harness all --jobs 8         # ... fanned out over 8 workers
+    python -m repro.harness fig12 --scale paper  # full-size run
+
+``--jobs`` parallelizes at the simulation-cell level (one dataset x tier x
+policy run per task): the requested figures' cells are deduplicated,
+executed across worker processes, and every table is then built from the
+shared results — byte-identical to a serial run.
 
 Results also land in ``benchmarks/results/`` when run via the benchmark
 suite; this entry point is for interactive exploration.
@@ -12,37 +21,100 @@ suite; this entry point is for interactive exploration.
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 
+from repro.core.registry import policy_table
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.runner import sweep
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run the paper-figure experiment harness.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (see `list`), or `all`, or `list`",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=os.cpu_count(),
+        metavar="N",
+        help="worker processes for the simulation sweep "
+        "(default: all CPUs; 1 = serial)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default=None,
+        help="experiment scale (default: $REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--list-policies",
+        action="store_true",
+        help="print the registered cluster policies and exit",
+    )
+    return parser
+
+
+def _print_experiment_list() -> None:
+    for name in sorted(ALL_EXPERIMENTS):
+        print(f"{name:20s} {ALL_EXPERIMENTS[name].title}")
+
+
+def _print_policies() -> None:
+    for name, summary in policy_table():
+        print(f"{name:20s} {summary}")
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+    args = _parser().parse_args(argv)
+    if args.list_policies:
+        _print_policies()
+        return 0
+    if not args.targets:
         print(__doc__)
         return 2
-    target = argv[0]
-    if target == "list":
-        for name in sorted(ALL_EXPERIMENTS):
-            doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
-            summary = doc[0] if doc else ""
-            print(f"{name:20s} {summary}")
+    if "list" in args.targets:
+        _print_experiment_list()
         return 0
-    if target == "all":
-        for name in sorted(ALL_EXPERIMENTS):
-            print(ALL_EXPERIMENTS[name]().render())
-            print()
-        return 0
-    if target not in ALL_EXPERIMENTS:
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = args.scale
+
+    names = sorted(ALL_EXPERIMENTS) if "all" in args.targets else args.targets
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
         print(
-            f"unknown experiment {target!r}; "
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
             f"try one of: {', '.join(sorted(ALL_EXPERIMENTS))}",
             file=sys.stderr,
         )
         return 2
-    print(ALL_EXPERIMENTS[target]().render())
+
+    # One deduplicated sweep over every requested figure's cells, then
+    # build each table from the shared results.
+    if args.jobs and args.jobs > 1:
+        cells: list = []
+        for name in names:
+            cells.extend(ALL_EXPERIMENTS[name].required_cells())
+        if cells:
+            sweep(cells, jobs=args.jobs)
+    for name in names:
+        print(ALL_EXPERIMENTS[name]().render())
+        print()
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    try:
+        raise SystemExit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; not an error.
+        sys.exit(141)

@@ -1,23 +1,34 @@
-"""One entry point per paper table/figure.
+"""One entry point per paper table/figure, as declarative specs.
 
-Each ``figNN()`` function runs (or reuses, via the runner caches) the
-simulations behind one figure of the paper and returns a
-:class:`~repro.harness.report.FigureResult` whose rows mirror the series
-the paper plots.  The benchmark suite under ``benchmarks/`` prints these
-and asserts the qualitative shape (who wins, approximate factors).
+Each figure is an :class:`~repro.harness.spec.ExperimentSpec`: the sweep
+cells it needs (``spec.required_cells(settings)``) plus a pure ``build``
+function that assembles the :class:`~repro.harness.report.FigureResult`
+from the memoized runs.  The per-figure functions (``fig4_reasoning_phase``
+etc.) remain importable and behave exactly as before; the specs add the
+parallel path — ``spec(jobs=8)`` fans the cells out over worker processes
+before building, and ``python -m repro.harness all --jobs N`` sweeps the
+*union* of cells across every figure (they overlap heavily) in one pool.
+
+The benchmark suite under ``benchmarks/`` prints these tables and asserts
+the qualitative shape (who wins, approximate factors).
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig
 from repro.harness.report import FigureResult
 from repro.harness.runner import (
     CharacterizationSettings,
+    CharCell,
+    EvalCell,
     EvalSettings,
     run_characterization,
     run_evaluation,
 )
+from repro.harness.spec import ExperimentSpec
 from repro.harness.timeline import ascii_timeline
 from repro.metrics.collector import RunMetrics
 from repro.metrics.summary import mean, percentile
@@ -25,7 +36,6 @@ from repro.perfmodel.analytical import AnalyticalPerfModel
 from repro.perfmodel.profile import ProfileTable
 from repro.perfmodel.unit import UnitPerfModel
 from repro.perfmodel.validate import validate_runs
-from repro.sim.rng import RandomStreams
 from repro.workload.datasets import (
     ALPACA_EVAL,
     ARENA_HARD,
@@ -44,11 +54,93 @@ from repro.workload.trace import TraceConfig, build_trace, trace_token_stats
 CHAR_POLICIES = ("oracle", "fcfs", "rr")
 EVAL_POLICIES = ("fcfs", "rr", "pascal")
 
+#: One figure title per experiment id — the single source for both
+#: the rendered tables and the CLI `list` command.
+TITLES: dict[str, str] = {
+    "fig2": "Request C under oracle / FCFS / RR (time units)",
+    "fig4": "Reasoning-phase latency breakdown (s), 50% memory cap",
+    "fig5": "Answering-phase latency breakdown (s) and SLO attainment",
+    "fig8": "Chat dataset token distributions (synthetic vs paper means)",
+    "fig14": "Problem-solving dataset distributions (synthetic vs paper means)",
+    "fig9": "Absolute TTFT across arrival rates (s)",
+    "fig10": "Tail TTFT by reasoning-length bin, high arrival rate (s)",
+    "fig11": "Answering-phase SLO violation rates (%)",
+    "fig12": "Serving throughput (tokens/s)",
+    "sec5c": "KV-cache transfer overhead under high arrival rate",
+    "fig13": "PASCAL vs PASCAL(NoMigration), AlpacaEval high rate",
+    "fig15": "PASCAL vs PASCAL(NonAdaptive), AlpacaEval",
+    "fig16": "Mixed 50% Arena-Hard + 50% reasoning-heavy, high rate",
+    "sec5a": "Simulator validation: profile-table vs reference model (MAPE %)",
+    "ablation-alg2": "Algorithm 2 fallback: r_i + a_i vs r_i alone, AlpacaEval",
+    "ablation-partition": "Explicit phase partitioning vs PASCAL, AlpacaEval high rate",
+}
+
+
+# ---------------------------------------------------------------------------
+# shared cell builders and row helpers
+# ---------------------------------------------------------------------------
+def _eval_cells(datasets, tiers, policies, settings) -> tuple[EvalCell, ...]:
+    """The dataset x tier x policy evaluation matrix as sweep cells."""
+    return tuple(
+        EvalCell(dataset, tier, policy, settings)
+        for dataset in datasets
+        for tier in tiers
+        for policy in policies
+    )
+
+
+def _char_cells(phase, settings, policies=CHAR_POLICIES) -> tuple[CharCell, ...]:
+    return tuple(CharCell(phase, policy, settings) for policy in policies)
+
+
+@dataclasses.dataclass(frozen=True)
+class TailBinComparison:
+    """One reasoning-length bin of a FCFS / RR / PASCAL tail comparison."""
+
+    label: str
+    n_samples: int
+    metric_name: str
+    fcfs: float
+    rr: float
+    pascal: float
+    #: Fractional tail reduction of PASCAL vs each baseline (0..1).
+    red_vs_fcfs: float
+    red_vs_rr: float
+
+
+def _tail_ttft_comparison(
+    metrics: dict[str, RunMetrics], bin_width: int = 256
+) -> list[TailBinComparison]:
+    """Per-bin tail-TTFT comparison shared by Figures 10 and 16."""
+    bins = {
+        p: {b.lo: b for b in m.ttft_bins(bin_width=bin_width)}
+        for p, m in metrics.items()
+    }
+    shared = sorted(set(bins["fcfs"]) & set(bins["rr"]) & set(bins["pascal"]))
+    rows = []
+    for lo in shared:
+        fcfs_v = bins["fcfs"][lo].tail_value
+        rr_v = bins["rr"][lo].tail_value
+        pascal_v = bins["pascal"][lo].tail_value
+        rows.append(
+            TailBinComparison(
+                label=bins["pascal"][lo].label,
+                n_samples=bins["pascal"][lo].n_samples,
+                metric_name=bins["pascal"][lo].metric_name,
+                fcfs=fcfs_v,
+                rr=rr_v,
+                pascal=pascal_v,
+                red_vs_fcfs=(fcfs_v - pascal_v) / fcfs_v if fcfs_v > 0 else 0.0,
+                red_vs_rr=(rr_v - pascal_v) / rr_v if rr_v > 0 else 0.0,
+            )
+        )
+    return rows
+
 
 # ---------------------------------------------------------------------------
 # Figure 2 — scheduling timeline in abstract time units
 # ---------------------------------------------------------------------------
-def fig2_timeline() -> FigureResult:
+def fig2_timeline(settings=None) -> FigureResult:
     """Oracle / FCFS / RR timelines for three requests, capacity = 2.
 
     Requests A, B, C arrive at t = 0, 1, 2; GPU memory fits two requests;
@@ -95,7 +187,7 @@ def fig2_timeline() -> FigureResult:
         )
     return FigureResult(
         figure_id="fig2",
-        title="Request C under oracle / FCFS / RR (time units)",
+        title=TITLES["fig2"],
         headers=["policy", "C wait", "C TTFT", "makespan"],
         rows=rows,
         notes=[
@@ -143,7 +235,7 @@ def fig4_reasoning_phase(
             )
     return FigureResult(
         figure_id="fig4",
-        title="Reasoning-phase latency breakdown (s), 50% memory cap",
+        title=TITLES["fig4"],
         headers=[
             "reasoning_tokens",
             "policy",
@@ -196,7 +288,7 @@ def fig5_answering_phase(
             )
     return FigureResult(
         figure_id="fig5",
-        title="Answering-phase latency breakdown (s) and SLO attainment",
+        title=TITLES["fig5"],
         headers=[
             "answer_tokens",
             "policy",
@@ -245,19 +337,22 @@ def _distribution_rows(specs, n_samples: int = 4000) -> list[list]:
     return rows
 
 
+_DISTRIBUTION_HEADERS = [
+    "dataset",
+    "paper_reason_mean",
+    "measured_reason_mean",
+    "paper_answer_mean",
+    "measured_answer_mean",
+    "reason/answer",
+    "frac_reason<1000",
+]
+
+
 def fig8_chat_distributions(n_samples: int = 4000) -> FigureResult:
     return FigureResult(
         figure_id="fig8",
-        title="Chat dataset token distributions (synthetic vs paper means)",
-        headers=[
-            "dataset",
-            "paper_reason_mean",
-            "measured_reason_mean",
-            "paper_answer_mean",
-            "measured_answer_mean",
-            "reason/answer",
-            "frac_reason<1000",
-        ],
+        title=TITLES["fig8"],
+        headers=_DISTRIBUTION_HEADERS,
         rows=_distribution_rows((ALPACA_EVAL, ARENA_HARD), n_samples),
         notes=[
             "paper (fig 8): AlpacaEval 557.75/566.85, Arena-Hard 968.35/824.02",
@@ -269,16 +364,8 @@ def fig8_chat_distributions(n_samples: int = 4000) -> FigureResult:
 def fig14_reasoning_heavy_distributions(n_samples: int = 4000) -> FigureResult:
     return FigureResult(
         figure_id="fig14",
-        title="Problem-solving dataset distributions (synthetic vs paper means)",
-        headers=[
-            "dataset",
-            "paper_reason_mean",
-            "measured_reason_mean",
-            "paper_answer_mean",
-            "measured_answer_mean",
-            "reason/answer",
-            "frac_reason<1000",
-        ],
+        title=TITLES["fig14"],
+        headers=_DISTRIBUTION_HEADERS,
         rows=_distribution_rows((MATH_500, GPQA, LIVECODEBENCH), n_samples),
         notes=[
             "paper (fig 14): MATH-500 747.20/164.67, GPQA 2679.27/316.09, "
@@ -312,7 +399,7 @@ def fig9_ttft(settings: EvalSettings | None = None) -> FigureResult:
                 )
     return FigureResult(
         figure_id="fig9",
-        title="Absolute TTFT across arrival rates (s)",
+        title=TITLES["fig9"],
         headers=[
             "dataset",
             "rate",
@@ -339,34 +426,25 @@ def fig10_tail_ttft(settings: EvalSettings | None = None) -> FigureResult:
             policy: run_evaluation(dataset, "high", policy, settings)
             for policy in EVAL_POLICIES
         }
-        bins = {p: {b.lo: b for b in m.ttft_bins()} for p, m in metrics.items()}
-        shared = sorted(
-            set(bins["fcfs"]) & set(bins["rr"]) & set(bins["pascal"])
-        )
-        best_vs_fcfs = 0.0
-        best_vs_rr = 0.0
-        for lo in shared:
-            fcfs_v = bins["fcfs"][lo].tail_value
-            rr_v = bins["rr"][lo].tail_value
-            pascal_v = bins["pascal"][lo].tail_value
-            red_fcfs = (fcfs_v - pascal_v) / fcfs_v if fcfs_v > 0 else 0.0
-            red_rr = (rr_v - pascal_v) / rr_v if rr_v > 0 else 0.0
-            best_vs_fcfs = max(best_vs_fcfs, red_fcfs)
-            best_vs_rr = max(best_vs_rr, red_rr)
+        comparison = _tail_ttft_comparison(metrics)
+        for bin_row in comparison:
             rows.append(
                 [
                     dataset.name,
-                    bins["pascal"][lo].label,
-                    bins["pascal"][lo].n_samples,
-                    bins["pascal"][lo].metric_name,
-                    fcfs_v,
-                    rr_v,
-                    pascal_v,
-                    100.0 * red_fcfs,
-                    100.0 * red_rr,
+                    bin_row.label,
+                    bin_row.n_samples,
+                    bin_row.metric_name,
+                    bin_row.fcfs,
+                    bin_row.rr,
+                    bin_row.pascal,
+                    100.0 * bin_row.red_vs_fcfs,
+                    100.0 * bin_row.red_vs_rr,
                 ]
             )
-        headline[dataset.name] = (best_vs_fcfs, best_vs_rr)
+        headline[dataset.name] = (
+            max([0.0, *(b.red_vs_fcfs for b in comparison)]),
+            max([0.0, *(b.red_vs_rr for b in comparison)]),
+        )
     notes = [
         "paper: PASCAL cuts tail TTFT by up to 61% (AlpacaEval) / 72% "
         "(Arena-Hard) vs FCFS, and 33% / 29% vs RR",
@@ -378,7 +456,7 @@ def fig10_tail_ttft(settings: EvalSettings | None = None) -> FigureResult:
         )
     return FigureResult(
         figure_id="fig10",
-        title="Tail TTFT by reasoning-length bin, high arrival rate (s)",
+        title=TITLES["fig10"],
         headers=[
             "dataset",
             "bin",
@@ -408,7 +486,7 @@ def fig11_slo_violations(settings: EvalSettings | None = None) -> FigureResult:
             rows.append(row)
     return FigureResult(
         figure_id="fig11",
-        title="Answering-phase SLO violation rates (%)",
+        title=TITLES["fig11"],
         headers=["dataset", "rate", "fcfs_%", "rr_%", "pascal_%"],
         rows=rows,
         notes=[
@@ -447,7 +525,7 @@ def fig12_throughput(settings: EvalSettings | None = None) -> FigureResult:
             )
     return FigureResult(
         figure_id="fig12",
-        title="Serving throughput (tokens/s)",
+        title=TITLES["fig12"],
         headers=[
             "dataset",
             "rate",
@@ -486,7 +564,7 @@ def sec5c_transfer_overhead(settings: EvalSettings | None = None) -> FigureResul
         )
     return FigureResult(
         figure_id="sec5c",
-        title="KV-cache transfer overhead under high arrival rate",
+        title=TITLES["sec5c"],
         headers=[
             "dataset",
             "n_transfers",
@@ -526,7 +604,7 @@ def fig13_no_migration(settings: EvalSettings | None = None) -> FigureResult:
         )
     return FigureResult(
         figure_id="fig13",
-        title="PASCAL vs PASCAL(NoMigration), AlpacaEval high rate",
+        title=TITLES["fig13"],
         headers=[
             "policy",
             "mean_ttft_s",
@@ -570,7 +648,7 @@ def fig15_non_adaptive(settings: EvalSettings | None = None) -> FigureResult:
             )
     return FigureResult(
         figure_id="fig15",
-        title="PASCAL vs PASCAL(NonAdaptive), AlpacaEval",
+        title=TITLES["fig15"],
         headers=[
             "policy",
             "rate",
@@ -600,35 +678,22 @@ def fig16_mixed_workload(settings: EvalSettings | None = None) -> FigureResult:
         policy: run_evaluation(mix, "high", policy, settings)
         for policy in EVAL_POLICIES
     }
-    bins = {
-        p: {b.lo: b for b in m.ttft_bins(bin_width=512)}
-        for p, m in metrics.items()
-    }
-    shared = sorted(set(bins["fcfs"]) & set(bins["rr"]) & set(bins["pascal"]))
-    rows = []
-    best_vs_fcfs = 0.0
-    best_vs_rr = 0.0
-    worst_vs_rr = 0.0
-    for lo in shared:
-        fcfs_v = bins["fcfs"][lo].tail_value
-        rr_v = bins["rr"][lo].tail_value
-        pascal_v = bins["pascal"][lo].tail_value
-        red_fcfs = (fcfs_v - pascal_v) / fcfs_v if fcfs_v > 0 else 0.0
-        red_rr = (rr_v - pascal_v) / rr_v if rr_v > 0 else 0.0
-        best_vs_fcfs = max(best_vs_fcfs, red_fcfs)
-        best_vs_rr = max(best_vs_rr, red_rr)
-        worst_vs_rr = min(worst_vs_rr, red_rr)
-        rows.append(
-            [
-                bins["pascal"][lo].label,
-                bins["pascal"][lo].n_samples,
-                fcfs_v,
-                rr_v,
-                pascal_v,
-                100.0 * red_fcfs,
-                100.0 * red_rr,
-            ]
-        )
+    comparison = _tail_ttft_comparison(metrics, bin_width=512)
+    rows = [
+        [
+            bin_row.label,
+            bin_row.n_samples,
+            bin_row.fcfs,
+            bin_row.rr,
+            bin_row.pascal,
+            100.0 * bin_row.red_vs_fcfs,
+            100.0 * bin_row.red_vs_rr,
+        ]
+        for bin_row in comparison
+    ]
+    best_vs_fcfs = max([0.0, *(b.red_vs_fcfs for b in comparison)])
+    best_vs_rr = max([0.0, *(b.red_vs_rr for b in comparison)])
+    worst_vs_rr = min([0.0, *(b.red_vs_rr for b in comparison)])
     slo_row = [
         "slo_violation_%",
         None,
@@ -641,7 +706,7 @@ def fig16_mixed_workload(settings: EvalSettings | None = None) -> FigureResult:
     rows.append(slo_row)
     return FigureResult(
         figure_id="fig16",
-        title="Mixed 50% Arena-Hard + 50% reasoning-heavy, high rate",
+        title=TITLES["fig16"],
         headers=[
             "bin",
             "n",
@@ -692,7 +757,7 @@ def sec5a_validation(n_requests: int = 80, seed: int = 3) -> FigureResult:
     ]
     return FigureResult(
         figure_id="sec5a",
-        title="Simulator validation: profile-table vs reference model (MAPE %)",
+        title=TITLES["sec5a"],
         headers=["metric", "paper_mape_%", "measured_mape_%"],
         rows=rows,
         notes=[
@@ -706,6 +771,14 @@ def sec5a_validation(n_requests: int = 80, seed: int = 3) -> FigureResult:
 # ---------------------------------------------------------------------------
 # Design-choice ablations (claims the paper states without a figure)
 # ---------------------------------------------------------------------------
+def _alg2_stressed_settings(settings: EvalSettings) -> EvalSettings:
+    """The ablation's hotter-than-high "stress" tier on top of the base."""
+    return dataclasses.replace(
+        settings,
+        load_factors=settings.load_factors + (("stress", 1.35),),
+    )
+
+
 def ablation_alg2_fallback(settings: EvalSettings | None = None) -> FigureResult:
     """Algorithm 2's ``r_i + a_i`` fallback vs plain ``r_i`` (Section IV-B).
 
@@ -714,12 +787,7 @@ def ablation_alg2_fallback(settings: EvalSettings | None = None) -> FigureResult
     on top of the standard tiers.
     """
     base = settings or EvalSettings.for_scale()
-    import dataclasses
-
-    stressed = dataclasses.replace(
-        base,
-        load_factors=base.load_factors + (("stress", 1.35),),
-    )
+    stressed = _alg2_stressed_settings(base)
     slo = stressed.cluster_config().slo
     rows = []
     for policy in ("pascal", "pascal-ri-only"):
@@ -738,7 +806,7 @@ def ablation_alg2_fallback(settings: EvalSettings | None = None) -> FigureResult
             )
     return FigureResult(
         figure_id="ablation-alg2",
-        title="Algorithm 2 fallback: r_i + a_i vs r_i alone, AlpacaEval",
+        title=TITLES["ablation-alg2"],
         headers=[
             "policy",
             "rate",
@@ -784,7 +852,7 @@ def ablation_phase_partitioning(
         )
     return FigureResult(
         figure_id="ablation-partition",
-        title="Explicit phase partitioning vs PASCAL, AlpacaEval high rate",
+        title=TITLES["ablation-partition"],
         headers=[
             "policy",
             "mean_ttft_s",
@@ -802,21 +870,141 @@ def ablation_phase_partitioning(
     )
 
 
-ALL_EXPERIMENTS = {
-    "fig2": fig2_timeline,
-    "fig4": fig4_reasoning_phase,
-    "fig5": fig5_answering_phase,
-    "fig8": fig8_chat_distributions,
-    "fig9": fig9_ttft,
-    "fig10": fig10_tail_ttft,
-    "fig11": fig11_slo_violations,
-    "fig12": fig12_throughput,
-    "fig13": fig13_no_migration,
-    "fig14": fig14_reasoning_heavy_distributions,
-    "fig15": fig15_non_adaptive,
-    "fig16": fig16_mixed_workload,
-    "sec5a": sec5a_validation,
-    "sec5c": sec5c_transfer_overhead,
-    "ablation-alg2": ablation_alg2_fallback,
-    "ablation-partition": ablation_phase_partitioning,
+# ---------------------------------------------------------------------------
+# the registry: every figure as a declarative spec
+# ---------------------------------------------------------------------------
+_TIERS = ("low", "medium", "high")
+_CHAT = (ALPACA_EVAL, ARENA_HARD)
+
+
+ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.figure_id: spec
+    for spec in (
+        ExperimentSpec(
+            figure_id="fig2",
+            title=TITLES["fig2"],
+            build=fig2_timeline,
+        ),
+        ExperimentSpec(
+            figure_id="fig4",
+            title=TITLES["fig4"],
+            build=fig4_reasoning_phase,
+            cells=lambda s: _char_cells("reasoning", s),
+            settings_factory=CharacterizationSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig5",
+            title=TITLES["fig5"],
+            build=fig5_answering_phase,
+            cells=lambda s: _char_cells("answering", s),
+            settings_factory=CharacterizationSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig8",
+            title=TITLES["fig8"],
+            build=lambda settings=None: fig8_chat_distributions(),
+        ),
+        ExperimentSpec(
+            figure_id="fig9",
+            title=TITLES["fig9"],
+            build=fig9_ttft,
+            cells=lambda s: _eval_cells(_CHAT, _TIERS, EVAL_POLICIES, s),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig10",
+            title=TITLES["fig10"],
+            build=fig10_tail_ttft,
+            cells=lambda s: _eval_cells(_CHAT, ("high",), EVAL_POLICIES, s),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig11",
+            title=TITLES["fig11"],
+            build=fig11_slo_violations,
+            cells=lambda s: _eval_cells(_CHAT, _TIERS, EVAL_POLICIES, s),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig12",
+            title=TITLES["fig12"],
+            build=fig12_throughput,
+            cells=lambda s: _eval_cells(_CHAT, _TIERS, EVAL_POLICIES, s),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig13",
+            title=TITLES["fig13"],
+            build=fig13_no_migration,
+            cells=lambda s: _eval_cells(
+                (ALPACA_EVAL,),
+                ("high",),
+                ("pascal", "pascal-nomigration"),
+                s,
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig14",
+            title=TITLES["fig14"],
+            build=lambda settings=None: fig14_reasoning_heavy_distributions(),
+        ),
+        ExperimentSpec(
+            figure_id="fig15",
+            title=TITLES["fig15"],
+            build=fig15_non_adaptive,
+            cells=lambda s: _eval_cells(
+                (ALPACA_EVAL,),
+                _TIERS,
+                ("pascal", "pascal-nonadaptive"),
+                s,
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig16",
+            title=TITLES["fig16"],
+            build=fig16_mixed_workload,
+            cells=lambda s: _eval_cells(
+                (reasoning_heavy_mix(),), ("high",), EVAL_POLICIES, s
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="sec5a",
+            title=TITLES["sec5a"],
+            build=lambda settings=None: sec5a_validation(),
+        ),
+        ExperimentSpec(
+            figure_id="sec5c",
+            title=TITLES["sec5c"],
+            build=sec5c_transfer_overhead,
+            cells=lambda s: _eval_cells(_CHAT, ("high",), ("pascal",), s),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="ablation-alg2",
+            title=TITLES["ablation-alg2"],
+            build=ablation_alg2_fallback,
+            cells=lambda s: _eval_cells(
+                (ALPACA_EVAL,),
+                ("high", "stress"),
+                ("pascal", "pascal-ri-only"),
+                _alg2_stressed_settings(s),
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="ablation-partition",
+            title=TITLES["ablation-partition"],
+            build=ablation_phase_partitioning,
+            cells=lambda s: _eval_cells(
+                (ALPACA_EVAL,),
+                ("high",),
+                ("pascal", "phase-partitioned", "fcfs"),
+                s,
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+    )
 }

@@ -10,10 +10,17 @@ Two experiment families mirror the paper:
 Every run rebuilds its trace from the same seed, so all policies see
 byte-identical workloads, and run results are memoized per configuration so
 the figure benchmarks can share the expensive simulations.
+
+:func:`sweep` fans a set of :class:`EvalCell` / :class:`CharCell` work
+items out over ``multiprocessing`` workers and seeds the memoization
+caches with the results, so a figure build that follows a parallel sweep
+reads exactly the data a serial run would have produced (every cell is a
+deterministic function of its settings).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from dataclasses import dataclass, field
 
@@ -349,6 +356,115 @@ def clear_caches() -> None:
     _char_cache.clear()
     _oracle_peak_cache.clear()
     _eval_cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# parallel sweep
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalCell:
+    """One Section V evaluation run: dataset x rate tier x policy."""
+
+    dataset: DatasetSpec | MixedDataset
+    tier: str
+    policy: str
+    settings: EvalSettings
+
+
+@dataclass(frozen=True)
+class CharCell:
+    """One Section III characterization run: phase x policy."""
+
+    phase: str
+    policy: str
+    settings: CharacterizationSettings
+
+
+Cell = EvalCell | CharCell
+
+
+def run_cell(cell: Cell):
+    """Execute one sweep cell (memoized like the underlying runner)."""
+    if isinstance(cell, EvalCell):
+        return run_evaluation(cell.dataset, cell.tier, cell.policy, cell.settings)
+    if isinstance(cell, CharCell):
+        return run_characterization(cell.phase, cell.policy, cell.settings)
+    raise TypeError(f"not a sweep cell: {cell!r}")
+
+
+def _cell_cached(cell: Cell) -> bool:
+    if isinstance(cell, EvalCell):
+        key = (cell.dataset.name, cell.tier, cell.policy, cell.settings)
+        return key in _eval_cache
+    return (cell.phase, cell.policy, cell.settings) in _char_cache
+
+
+def _store_cell(cell: Cell, result) -> None:
+    """Seed the memoization caches with a worker-produced result."""
+    if isinstance(cell, EvalCell):
+        key = (cell.dataset.name, cell.tier, cell.policy, cell.settings)
+        _eval_cache[key] = result
+    else:
+        _char_cache[(cell.phase, cell.policy, cell.settings)] = result
+        _oracle_peak_cache.setdefault(
+            (cell.phase, cell.settings), result.oracle_peak_tokens
+        )
+
+
+def _sweep_initializer(capacity_cache: dict, oracle_peak_cache: dict) -> None:
+    """Hand workers the shared probe results (spawn-safe; no-op cost for
+    fork, where the caches are inherited anyway)."""
+    _capacity_cache.update(capacity_cache)
+    _oracle_peak_cache.update(oracle_peak_cache)
+
+
+def _prewarm_shared_probes(cells: list[Cell]) -> None:
+    """Run the per-dataset capacity probes and per-phase oracle runs once,
+    in-process, so parallel workers don't each redo the shared prefix."""
+    seen_eval = set()
+    seen_char = set()
+    for cell in cells:
+        if isinstance(cell, EvalCell):
+            key = (cell.dataset.name, cell.settings)
+            if key not in seen_eval:
+                seen_eval.add(key)
+                measured_capacity_req_per_s(cell.dataset, cell.settings)
+        else:
+            key = (cell.phase, cell.settings)
+            if key not in seen_char:
+                seen_char.add(key)
+                run_characterization(cell.phase, "oracle", cell.settings)
+
+
+def sweep(
+    cells, jobs: int | None = None
+) -> dict[Cell, "RunMetrics | CharacterizationRun"]:
+    """Run every cell, fanning out over ``jobs`` worker processes.
+
+    Results land in the runner caches (so figure builds that follow hit
+    them) and are returned keyed by cell.  ``jobs=None`` uses every CPU;
+    ``jobs<=1`` runs serially.  Cells are deterministic functions of their
+    settings, so the parallel schedule cannot change any result.
+    """
+    unique: list[Cell] = list(dict.fromkeys(cells))
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    pending = [cell for cell in unique if not _cell_cached(cell)]
+    if jobs <= 1 or len(pending) <= 1:
+        return {cell: run_cell(cell) for cell in unique}
+
+    _prewarm_shared_probes(pending)
+    pending = [cell for cell in pending if not _cell_cached(cell)]
+    if pending:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=min(jobs, len(pending)),
+            initializer=_sweep_initializer,
+            initargs=(dict(_capacity_cache), dict(_oracle_peak_cache)),
+        ) as pool:
+            for cell, result in zip(pending, pool.map(run_cell, pending)):
+                _store_cell(cell, result)
+    return {cell: run_cell(cell) for cell in unique}
 
 
 CHAT_DATASETS = (ALPACA_EVAL, ARENA_HARD)

@@ -1,0 +1,74 @@
+"""Declarative experiment specs.
+
+An :class:`ExperimentSpec` describes one paper figure as data:
+
+* ``cells`` — the simulation work items (:class:`~repro.harness.runner.EvalCell`
+  / :class:`~repro.harness.runner.CharCell`) the figure needs, as a function
+  of its settings;
+* ``build`` — a pure function that assembles the
+  :class:`~repro.harness.report.FigureResult` from the memoized runs.
+
+Separating the two lets the harness fan the cells of one figure — or the
+union of cells across *all* figures, which overlap heavily — out over
+worker processes via :func:`~repro.harness.runner.sweep`, then build every
+table from the shared cache.  Because each cell is a deterministic function
+of its settings, a parallel sweep yields byte-identical figures to a serial
+run.
+
+Specs are callable with the same ``(settings=None)`` convention as the
+original per-figure functions, plus an optional ``jobs`` fan-out degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.harness.report import FigureResult
+from repro.harness.runner import Cell, sweep
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper figure: its work items plus its table builder."""
+
+    figure_id: str
+    title: str
+    #: ``build(settings) -> FigureResult``; must tolerate ``settings=None``
+    #: (each builder falls back to its scale-default settings).
+    build: Callable[[Any], FigureResult]
+    #: ``cells(settings) -> tuple[Cell, ...]``; None for figures whose
+    #: simulations are too cheap to be worth dispatching.
+    cells: Callable[[Any], tuple[Cell, ...]] | None = None
+    #: Zero-arg factory for the figure's scale-default settings.
+    settings_factory: Callable[[], Any] | None = None
+
+    def default_settings(self) -> Any:
+        if self.settings_factory is None:
+            return None
+        return self.settings_factory()
+
+    def required_cells(self, settings: Any = None) -> tuple[Cell, ...]:
+        """The sweep cells this figure needs under ``settings``."""
+        if self.cells is None:
+            return ()
+        if settings is None:
+            settings = self.default_settings()
+        return tuple(self.cells(settings))
+
+    def run(
+        self, settings: Any = None, jobs: int | None = None
+    ) -> FigureResult:
+        """Build the figure, optionally pre-running its cells in parallel."""
+        if settings is None:
+            settings = self.default_settings()
+        if jobs is not None and jobs > 1:
+            cells = self.required_cells(settings)
+            if cells:
+                sweep(cells, jobs=jobs)
+        return self.build(settings)
+
+    def __call__(
+        self, settings: Any = None, jobs: int | None = None
+    ) -> FigureResult:
+        return self.run(settings, jobs=jobs)

@@ -103,7 +103,7 @@ def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
     """Snapshot a finished cluster run into a :class:`RunMetrics`."""
     reqs = requests if requests is not None else cluster.completed
     return RunMetrics(
-        policy=cluster.policy,
+        policy=cluster.policy_name,
         requests=list(reqs),
         throughput_tokens_per_s=cluster.throughput_tokens_per_s(),
         transfer_latencies_s=cluster.migrations.transfer_latencies(),

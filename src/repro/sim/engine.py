@@ -58,33 +58,33 @@ class SimulationEngine:
             raise RuntimeError("engine is not re-entrant")
         self._running = True
         try:
-            while True:
-                event = self.queue.pop()
-                if event is None:
-                    return
-                if event.time > self.horizon_s:
-                    return
-                self.now = event.time
-                self.events_processed += 1
-                if self.events_processed > self.max_events:
-                    raise RuntimeError(
-                        f"exceeded max_events={self.max_events}; "
-                        "likely a scheduling livelock"
-                    )
-                handler = self._handlers.get(event.kind)
-                if handler is None:
-                    raise RuntimeError(f"no handler registered for {event.kind}")
-                handler(event.time, event.payload)
+            while self._dispatch_next():
+                pass
         finally:
             self._running = False
 
     def step(self) -> bool:
-        """Process exactly one event; returns False when the queue is empty."""
-        event = self.queue.pop()
-        if event is None or event.time > self.horizon_s:
+        """Process exactly one event; returns False when nothing is due.
+
+        Shares :meth:`run`'s dispatch path: an event beyond the horizon
+        stays in the queue (so ``step`` and a later ``run`` observe the
+        same sequence) and the ``max_events`` livelock guard applies.
+        """
+        return self._dispatch_next()
+
+    def _dispatch_next(self) -> bool:
+        """Pop and dispatch the next in-horizon event; False when none."""
+        next_t = self.queue.peek_time()
+        if next_t is None or next_t > self.horizon_s:
             return False
+        event = self.queue.pop()
         self.now = event.time
         self.events_processed += 1
+        if self.events_processed > self.max_events:
+            raise RuntimeError(
+                f"exceeded max_events={self.max_events}; "
+                "likely a scheduling livelock"
+            )
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise RuntimeError(f"no handler registered for {event.kind}")

@@ -61,18 +61,18 @@ class TestRiOnlyFallback:
         requests = workload()
         cluster.run_trace(requests)
         assert cluster.all_finished()
-        assert cluster.answering_placement.use_fresh_fallback is False
+        assert cluster.policy.answering_placement.use_fresh_fallback is False
 
     def test_full_pascal_keeps_fallback_enabled(self):
         cluster = cluster_of("pascal")
-        assert cluster.answering_placement.use_fresh_fallback is True
+        assert cluster.policy.answering_placement.use_fresh_fallback is True
 
 
 class TestPhasePartitioned:
     def test_pools_split_the_cluster(self):
         cluster = cluster_of("phase-partitioned", n_instances=4)
-        assert [i.iid for i in cluster.reasoning_pool] == [0, 1]
-        assert [i.iid for i in cluster.answering_pool] == [2, 3]
+        assert [i.iid for i in cluster.policy.reasoning_pool] == [0, 1]
+        assert [i.iid for i in cluster.policy.answering_pool] == [2, 3]
 
     def test_single_instance_degenerates_gracefully(self):
         cluster = cluster_of("phase-partitioned", n_instances=1)
@@ -93,7 +93,7 @@ class TestPhasePartitioned:
         cluster = cluster_of("phase-partitioned", n_instances=4)
         requests = workload()
         cluster.run_trace(requests)
-        answering_ids = {i.iid for i in cluster.answering_pool}
+        answering_ids = {i.iid for i in cluster.policy.answering_pool}
         for req in requests:
             # Final placement is an answering instance.
             assert req.instance_id in answering_ids

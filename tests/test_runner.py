@@ -1,13 +1,17 @@
-"""Harness runner tests (settings plumbing, caching; no heavy sims)."""
+"""Harness runner tests (settings plumbing, caching, sweep; no heavy sims)."""
 
 import pytest
 
 from repro.harness.runner import (
     CharacterizationSettings,
     CharacterizationRun,
+    CharCell,
+    EvalCell,
     EvalSettings,
     clear_caches,
+    run_cell,
     run_characterization,
+    sweep,
 )
 from repro.workload.datasets import ALPACA_EVAL, ARENA_HARD, reasoning_heavy_mix
 
@@ -108,6 +112,101 @@ class TestCharacterizationRunner:
             run_characterization("prefill", "fcfs", self.small())
 
 
+class TestSweep:
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def settings(self):
+        return CharacterizationSettings(
+            n_requests=20,
+            reasoning_rate_per_s=0.5,
+            answering_rate_per_s=0.5,
+        )
+
+    def cells(self):
+        s = self.settings()
+        return [
+            CharCell("reasoning", policy, s)
+            for policy in ("oracle", "fcfs", "rr")
+        ]
+
+    def test_run_cell_matches_direct_runner(self):
+        cell = self.cells()[1]
+        via_cell = run_cell(cell)
+        direct = run_characterization("reasoning", "fcfs", self.settings())
+        assert via_cell is direct  # same memoized object
+
+    def test_run_cell_rejects_non_cells(self):
+        with pytest.raises(TypeError):
+            run_cell("fig12")
+
+    def test_serial_sweep_covers_all_cells(self):
+        results = sweep(self.cells(), jobs=1)
+        assert set(results) == set(self.cells())
+        for run in results.values():
+            assert len(run.metrics.requests) == 20
+
+    def test_sweep_deduplicates_cells(self):
+        cells = self.cells() + self.cells()
+        results = sweep(cells, jobs=1)
+        assert len(results) == 3
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = {
+            cell: run_cell(cell).metrics for cell in self.cells()
+        }
+        serial_view = {
+            cell: sorted(
+                (r.rid, r.done_t, r.n_preemptions) for r in metrics.requests
+            )
+            for cell, metrics in serial.items()
+        }
+        clear_caches()
+        parallel = sweep(self.cells(), jobs=2)
+        parallel_view = {
+            cell: sorted(
+                (r.rid, r.done_t, r.n_preemptions)
+                for r in run.metrics.requests
+            )
+            for cell, run in parallel.items()
+        }
+        assert serial_view == parallel_view
+
+    def test_parallel_sweep_seeds_the_cache(self):
+        sweep(self.cells(), jobs=2)
+        # A follow-up serial call must hit the memoized result, not rerun.
+        first = run_characterization("reasoning", "rr", self.settings())
+        second = run_characterization("reasoning", "rr", self.settings())
+        assert first is second
+
+    def test_parallel_sweep_with_only_prewarmed_cells(self):
+        # Oracle runs are executed in-parent during prewarming, so these
+        # two cells leave nothing for the pool; it must cope with an
+        # empty remainder.
+        s = self.settings()
+        cells = [
+            CharCell("reasoning", "oracle", s),
+            CharCell("answering", "oracle", s),
+        ]
+        results = sweep(cells, jobs=2)
+        assert set(results) == set(cells)
+        for run in results.values():
+            assert len(run.metrics.requests) == 20
+
+    def test_cells_are_hashable_and_comparable(self):
+        s = self.settings()
+        assert CharCell("reasoning", "fcfs", s) == CharCell(
+            "reasoning", "fcfs", s
+        )
+        eval_cell = EvalCell(ALPACA_EVAL, "high", "pascal", EvalSettings())
+        assert hash(eval_cell) == hash(
+            EvalCell(ALPACA_EVAL, "high", "pascal", EvalSettings())
+        )
+
+
 class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         from repro.harness.experiments import ALL_EXPERIMENTS
@@ -119,3 +218,44 @@ class TestExperimentRegistry:
         }
         assert set(ALL_EXPERIMENTS) == expected
         assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())
+
+    def test_spec_ids_match_keys(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        for name, spec in ALL_EXPERIMENTS.items():
+            assert spec.figure_id == name
+            assert spec.title
+
+    def test_eval_specs_declare_cells(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        settings = EvalSettings()
+        cells = ALL_EXPERIMENTS["fig12"].required_cells(settings)
+        assert len(cells) == 18  # 2 datasets x 3 tiers x 3 policies
+        assert all(isinstance(cell, EvalCell) for cell in cells)
+        assert all(cell.settings == settings for cell in cells)
+
+    def test_char_specs_declare_cells(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        cells = ALL_EXPERIMENTS["fig4"].required_cells(_tiny_char_settings())
+        assert {cell.policy for cell in cells} == {"oracle", "fcfs", "rr"}
+        assert all(cell.phase == "reasoning" for cell in cells)
+
+    def test_cheap_specs_declare_no_cells(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        for name in ("fig2", "fig8", "fig14", "sec5a"):
+            assert ALL_EXPERIMENTS[name].required_cells() == ()
+
+    def test_spec_runs_and_builds(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        result = ALL_EXPERIMENTS["fig2"]()
+        assert result.figure_id == "fig2"
+
+
+def _tiny_char_settings():
+    return CharacterizationSettings(
+        n_requests=20, reasoning_rate_per_s=0.5, answering_rate_per_s=0.5
+    )

@@ -138,6 +138,53 @@ class TestSimulationEngine:
         assert engine.step() is True
         assert engine.step() is False
 
+    def test_step_leaves_beyond_horizon_events_queued(self):
+        # step() must not pop-and-drop an event past the horizon: a later
+        # run() (e.g. on a copy of the engine with a larger horizon) has to
+        # observe the same queue a pure run() would.
+        engine = SimulationEngine(horizon_s=1.0)
+        seen = []
+        engine.register(EventKind.CALLBACK, lambda now, p: seen.append(p))
+        engine.schedule(0.5, EventKind.CALLBACK, "in")
+        engine.schedule(2.0, EventKind.CALLBACK, "out")
+        assert engine.step() is True
+        assert engine.step() is False
+        assert seen == ["in"]
+        assert len(engine.queue) == 1
+        assert engine.queue.peek_time() == 2.0
+
+    def test_run_leaves_beyond_horizon_events_queued(self):
+        engine = SimulationEngine(horizon_s=1.0)
+        engine.register(EventKind.CALLBACK, lambda now, _: None)
+        engine.schedule(0.5, EventKind.CALLBACK)
+        engine.schedule(2.0, EventKind.CALLBACK)
+        engine.run()
+        assert engine.queue.peek_time() == 2.0
+
+    def test_step_enforces_max_events_guard(self):
+        engine = SimulationEngine(max_events=3)
+
+        def reschedule(now, _):
+            engine.schedule_in(0.1, EventKind.CALLBACK)
+
+        engine.register(EventKind.CALLBACK, reschedule)
+        engine.schedule(0.0, EventKind.CALLBACK)
+        for _ in range(3):
+            assert engine.step() is True
+        with pytest.raises(RuntimeError, match="max_events"):
+            engine.step()
+
+    def test_step_then_run_processes_remaining_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventKind.CALLBACK, lambda now, p: seen.append(p))
+        for t, p in ((0.0, "a"), (1.0, "b"), (2.0, "c")):
+            engine.schedule(t, EventKind.CALLBACK, p)
+        assert engine.step() is True
+        engine.run()
+        assert seen == ["a", "b", "c"]
+        assert engine.events_processed == 3
+
     def test_not_reentrant(self):
         engine = SimulationEngine()
 
