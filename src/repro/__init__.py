@@ -23,7 +23,8 @@ Subpackages:
 * :mod:`repro.schedulers`— FCFS / RR / oracle baselines
 * :mod:`repro.serving`   — continuous-batching instance engine, token pacer
 * :mod:`repro.cluster`   — multi-instance orchestration, fabric, migration
-* :mod:`repro.workload`  — request model, dataset traces, arrival processes
+* :mod:`repro.workload`  — request model, dataset traces, arrival
+  processes, JSONL trace record/replay
 * :mod:`repro.perfmodel` — analytical + profile-table latency models
 * :mod:`repro.memory`    — paged KV-cache pool with GPU/CPU residency
 * :mod:`repro.metrics`   — QoE, SLO and tail-latency statistics
@@ -50,7 +51,15 @@ from repro.core.registry import (
 )
 from repro.metrics.collector import RunMetrics, collect
 from repro.workload.request import Phase, ReqState, Request
-from repro.workload.trace import TraceConfig, build_trace
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    TraceFormatError,
+    build_replay_trace,
+    build_trace,
+    export_trace,
+    load_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -65,14 +74,19 @@ __all__ = [
     "ModelConfig",
     "Phase",
     "POLICIES",
+    "ReplayTraceConfig",
     "ReqState",
     "Request",
     "RunMetrics",
     "SchedulerConfig",
     "SLOConfig",
     "TraceConfig",
+    "TraceFormatError",
+    "build_replay_trace",
     "build_trace",
     "collect",
+    "export_trace",
+    "load_trace",
     "create_policy",
     "policy_names",
     "register_policy",

@@ -1,4 +1,4 @@
-"""Command-line access to the per-figure experiments.
+"""Command-line access to the per-figure experiments and trace tools.
 
 Usage::
 
@@ -10,10 +10,17 @@ Usage::
     python -m repro.harness all --jobs 8         # ... fanned out over 8 workers
     python -m repro.harness fig12 --scale paper  # full-size run
 
+    # record a synthesized trace to JSONL, then replay it per policy:
+    python -m repro.harness record-trace --dataset arena-hard \\
+        --n-requests 200 --rate 2.0 --record-trace trace.jsonl
+    python -m repro.harness trace-compare --trace trace.jsonl --jobs 8
+    python -m repro.harness trace-compare --trace trace.jsonl \\
+        --rate-scale 2.0 --policies pascal,fcfs,rr
+
 ``--jobs`` parallelizes at the simulation-cell level (one dataset x tier x
-policy run per task): the requested figures' cells are deduplicated,
-executed across worker processes, and every table is then built from the
-shared results — byte-identical to a serial run.
+policy run, or one replayed trace x policy, per task): the requested cells
+are deduplicated, executed across worker processes, and every table is then
+built from the shared results — byte-identical to a serial run.
 
 Results also land in ``benchmarks/results/`` when run via the benchmark
 suite; this entry point is for interactive exploration.
@@ -25,9 +32,22 @@ import argparse
 import os
 import sys
 
-from repro.core.registry import policy_table
+from repro.core.registry import get_policy_class, policy_table
 from repro.harness.experiments import ALL_EXPERIMENTS
-from repro.harness.runner import sweep
+from repro.harness.replay import trace_compare
+from repro.harness.runner import ReplaySettings, sweep
+from repro.workload.datasets import get_dataset, reasoning_heavy_mix
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    TraceFormatError,
+    build_replay_trace,
+    build_trace,
+    export_trace,
+)
+
+#: Targets handled by the trace tools rather than the figure registry.
+TRACE_TARGETS = ("trace-compare", "record-trace")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -39,7 +59,8 @@ def _parser() -> argparse.ArgumentParser:
         "targets",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (see `list`), or `all`, or `list`",
+        help="experiment ids (see `list`), `all`, `list`, "
+        "`trace-compare`, or `record-trace`",
     )
     parser.add_argument(
         "--jobs",
@@ -61,17 +82,156 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered cluster policies and exit",
     )
+    replay = parser.add_argument_group("trace replay (trace-compare)")
+    replay.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="JSONL trace to replay through the policies",
+    )
+    replay.add_argument(
+        "--rate-scale",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="arrival-rate multiplier for the loaded trace "
+        "(2.0 = twice the offered load; default 1.0)",
+    )
+    replay.add_argument(
+        "--policies",
+        metavar="CSV",
+        help="comma-separated policy subset (default: all registered "
+        "except oracle, which is misleading at replay capacity)",
+    )
+    record = parser.add_argument_group("trace recording (record-trace)")
+    record.add_argument(
+        "--record-trace",
+        metavar="PATH",
+        help="write a JSONL trace here: the synthesized trace for "
+        "`record-trace`, or the (rate-rescaled) trace `trace-compare` "
+        "actually replayed",
+    )
+    record.add_argument(
+        "--dataset",
+        default="alpaca-eval-2.0",
+        metavar="NAME",
+        help="dataset model to synthesize from, or `reasoning-heavy-mix` "
+        "(default: alpaca-eval-2.0)",
+    )
+    record.add_argument(
+        "--n-requests",
+        type=int,
+        default=100,
+        metavar="N",
+        help="requests to synthesize (default: 100)",
+    )
+    record.add_argument(
+        "--rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="Poisson arrival rate in requests/s (default: 1.0)",
+    )
+    record.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="synthesis seed (default: 0)",
+    )
     return parser
 
 
 def _print_experiment_list() -> None:
     for name in sorted(ALL_EXPERIMENTS):
         print(f"{name:20s} {ALL_EXPERIMENTS[name].title}")
+    print(f"{'record-trace':20s} Synthesize a trace and record it to JSONL")
+    print(f"{'trace-compare':20s} Replay a JSONL trace through the policies")
 
 
 def _print_policies() -> None:
     for name, summary in policy_table():
         print(f"{name:20s} {summary}")
+
+
+def _run_record_trace(args) -> int:
+    if not args.record_trace:
+        print(
+            "record-trace needs an output path: --record-trace PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.dataset == "reasoning-heavy-mix":
+        dataset = reasoning_heavy_mix()
+    else:
+        try:
+            dataset = get_dataset(args.dataset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    try:
+        trace = build_trace(
+            TraceConfig(
+                dataset=dataset,
+                n_requests=args.n_requests,
+                arrival_rate_per_s=args.rate,
+                seed=args.seed,
+            )
+        )
+        export_trace(trace, args.record_trace)
+    except (ValueError, OSError) as exc:
+        # Bad synthesis knobs (negative rate/count) or an unwritable
+        # output path are usage errors, same as trace-compare's contract.
+        print(f"record-trace: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"recorded {len(trace)} requests ({dataset.name}, "
+        f"{args.rate:g} req/s, seed {args.seed}) -> {args.record_trace}"
+    )
+    return 0
+
+
+def _run_trace_compare(args) -> int:
+    if not args.trace:
+        print(
+            "trace-compare needs an input trace: --trace PATH",
+            file=sys.stderr,
+        )
+        return 2
+    policies = None
+    if args.policies:
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+    # Bad input is a usage error, not a crash: validate the cheap pieces
+    # (rate scale, policy names) up front, and around the run itself catch
+    # only file problems — an unexpected ValueError from deep inside the
+    # simulation is a bug and must keep its traceback.
+    try:
+        trace = ReplayTraceConfig(path=args.trace, rate_scale=args.rate_scale)
+        for policy in policies or ():
+            get_policy_class(policy)
+    except ValueError as exc:
+        print(f"trace-compare: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = trace_compare(
+            trace,
+            policies=policies,
+            settings=ReplaySettings(),
+            jobs=args.jobs,
+        )
+    except (TraceFormatError, OSError) as exc:
+        print(f"trace-compare: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.record_trace:
+        try:
+            export_trace(build_replay_trace(trace), args.record_trace)
+        except OSError as exc:
+            print(f"trace-compare: {exc}", file=sys.stderr)
+            return 2
+        print(f"replayed trace recorded -> {args.record_trace}")
+    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -88,15 +248,27 @@ def main(argv: list[str]) -> int:
     if args.scale is not None:
         os.environ["REPRO_SCALE"] = args.scale
 
-    names = sorted(ALL_EXPERIMENTS) if "all" in args.targets else args.targets
+    trace_targets = [t for t in args.targets if t in TRACE_TARGETS]
+    names = [t for t in args.targets if t not in TRACE_TARGETS]
+    if "all" in names:
+        names = sorted(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(
             f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
-            f"try one of: {', '.join(sorted(ALL_EXPERIMENTS))}",
+            f"try one of: {', '.join(sorted(ALL_EXPERIMENTS))}, "
+            f"{', '.join(TRACE_TARGETS)}",
             file=sys.stderr,
         )
         return 2
+
+    for target in trace_targets:
+        handler = (
+            _run_record_trace if target == "record-trace" else _run_trace_compare
+        )
+        status = handler(args)
+        if status != 0:
+            return status
 
     # One deduplicated sweep over every requested figure's cells, then
     # build each table from the shared results.

@@ -5,15 +5,18 @@ Two experiment families mirror the paper:
 * **characterization** (Section III, Figures 4-5) — a single instance whose
   KV capacity is capped at 50 % of the oracle's *peak observed usage*;
 * **evaluation** (Section V, Figures 9-16) — an eight-instance cluster with
-  dataset traces at calibrated low/medium/high arrival rates.
+  dataset traces at calibrated low/medium/high arrival rates;
+* **replay** — a recorded JSONL trace (see :mod:`repro.workload.trace`)
+  replayed through any registered policy, optionally rate-rescaled.
 
 Every run rebuilds its trace from the same seed, so all policies see
 byte-identical workloads, and run results are memoized per configuration so
 the figure benchmarks can share the expensive simulations.
 
-:func:`sweep` fans a set of :class:`EvalCell` / :class:`CharCell` work
-items out over ``multiprocessing`` workers and seeds the memoization
-caches with the results, so a figure build that follows a parallel sweep
+:func:`sweep` fans a set of :class:`EvalCell` / :class:`CharCell` /
+:class:`ReplayCell` work items out over ``multiprocessing`` workers and
+seeds the memoization caches with the results, so a figure build that
+follows a parallel sweep
 reads exactly the data a serial run would have produced (every cell is a
 deterministic function of its settings).
 """
@@ -39,7 +42,13 @@ from repro.workload.datasets import (
     MixedDataset,
     sample_trace,
 )
-from repro.workload.trace import TraceConfig, build_trace
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    TraceFormatError,
+    build_replay_trace,
+    build_trace,
+)
 
 
 def default_scale() -> str:
@@ -198,7 +207,12 @@ def run_characterization(
     requests = _characterization_workload(phase, settings)
     full_capacity = oracle_capacity_tokens(requests)
 
-    if oracle_key not in _oracle_peak_cache:
+    # The oracle itself must always run uncapped: its peak KV usage
+    # *defines* the constrained capacity the other policies get.  A warm
+    # peak cache alone (e.g. seeded by _store_cell after a parallel sweep
+    # of non-oracle cells) is not enough to answer an oracle query — the
+    # fall-through below would cap the oracle at 50 % of its own peak.
+    if policy == "oracle" or oracle_key not in _oracle_peak_cache:
         oracle_requests = _characterization_workload(phase, settings)
         instance = InstanceConfig(kv_capacity_tokens=full_capacity)
         config = ClusterConfig(n_instances=1, instance=instance)
@@ -351,11 +365,72 @@ def run_evaluation(
     return metrics
 
 
+@dataclass(frozen=True)
+class ReplaySettings:
+    """Cluster shape for trace-replay runs (no synthesis knobs needed)."""
+
+    n_instances: int = 8
+    kv_capacity_tokens: int = 60000
+
+    def cluster_config(self) -> ClusterConfig:
+        instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
+        return ClusterConfig(n_instances=self.n_instances, instance=instance)
+
+
+_replay_cache: dict[tuple, RunMetrics] = {}
+
+
+def _replay_key(
+    trace: ReplayTraceConfig, policy: str, settings: ReplaySettings
+) -> tuple:
+    # Unlike the synthesis caches, the path alone does not determine the
+    # workload — the file can be rewritten in place.  Key on the file's
+    # identity (mtime + size) too, so a stale entry is never returned.
+    path = os.path.abspath(trace.path)
+    try:
+        stat = os.stat(path)
+        identity = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        identity = None  # missing file: load_trace will raise on the run
+    return (path, identity, trace.rate_scale, policy, settings)
+
+
+def run_replay(
+    trace: ReplayTraceConfig,
+    policy: str,
+    settings: ReplaySettings | None = None,
+) -> RunMetrics:
+    """Replay one recorded trace through one policy; memoized like the rest.
+
+    The trace is re-loaded from disk for every run: simulation mutates
+    request state, so each policy must see freshly constructed requests —
+    this is what makes replayed comparisons byte-identical across policies.
+    """
+    settings = settings or ReplaySettings()
+    key = _replay_key(trace, policy, settings)
+    if key in _replay_cache:
+        return _replay_cache[key]
+    requests = build_replay_trace(trace)
+    if not requests:
+        raise TraceFormatError(trace.path, 1, "trace contains no requests")
+    cluster = Cluster(settings.cluster_config(), policy=policy)
+    cluster.run_trace(requests)
+    if not cluster.all_finished():
+        raise RuntimeError(
+            f"replay did not drain: {len(cluster.completed)}/"
+            f"{len(cluster.submitted)} finished ({trace.name}, {policy})"
+        )
+    metrics = collect(cluster)
+    _replay_cache[key] = metrics
+    return metrics
+
+
 def clear_caches() -> None:
     """Reset memoized runs (used by tests)."""
     _char_cache.clear()
     _oracle_peak_cache.clear()
     _eval_cache.clear()
+    _replay_cache.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -380,7 +455,16 @@ class CharCell:
     settings: CharacterizationSettings
 
 
-Cell = EvalCell | CharCell
+@dataclass(frozen=True)
+class ReplayCell:
+    """One trace-replay run: recorded trace (x rate scale) x policy."""
+
+    trace: ReplayTraceConfig
+    policy: str
+    settings: ReplaySettings
+
+
+Cell = EvalCell | CharCell | ReplayCell
 
 
 def run_cell(cell: Cell):
@@ -389,6 +473,8 @@ def run_cell(cell: Cell):
         return run_evaluation(cell.dataset, cell.tier, cell.policy, cell.settings)
     if isinstance(cell, CharCell):
         return run_characterization(cell.phase, cell.policy, cell.settings)
+    if isinstance(cell, ReplayCell):
+        return run_replay(cell.trace, cell.policy, cell.settings)
     raise TypeError(f"not a sweep cell: {cell!r}")
 
 
@@ -396,14 +482,26 @@ def _cell_cached(cell: Cell) -> bool:
     if isinstance(cell, EvalCell):
         key = (cell.dataset.name, cell.tier, cell.policy, cell.settings)
         return key in _eval_cache
+    if isinstance(cell, ReplayCell):
+        return _replay_key(cell.trace, cell.policy, cell.settings) in _replay_cache
     return (cell.phase, cell.policy, cell.settings) in _char_cache
 
 
-def _store_cell(cell: Cell, result) -> None:
-    """Seed the memoization caches with a worker-produced result."""
+def _store_cell(cell: Cell, result, replay_key: tuple | None = None) -> None:
+    """Seed the memoization caches with a worker-produced result.
+
+    ``replay_key`` is the cell's cache key snapshotted at *dispatch* time:
+    a replay key embeds the trace file's identity (mtime + size), so
+    computing it after the run would file results from the old content
+    under a concurrently rewritten file's identity.
+    """
     if isinstance(cell, EvalCell):
         key = (cell.dataset.name, cell.tier, cell.policy, cell.settings)
         _eval_cache[key] = result
+    elif isinstance(cell, ReplayCell):
+        if replay_key is None:
+            replay_key = _replay_key(cell.trace, cell.policy, cell.settings)
+        _replay_cache[replay_key] = result
     else:
         _char_cache[(cell.phase, cell.policy, cell.settings)] = result
         _oracle_peak_cache.setdefault(
@@ -429,11 +527,12 @@ def _prewarm_shared_probes(cells: list[Cell]) -> None:
             if key not in seen_eval:
                 seen_eval.add(key)
                 measured_capacity_req_per_s(cell.dataset, cell.settings)
-        else:
+        elif isinstance(cell, CharCell):
             key = (cell.phase, cell.settings)
             if key not in seen_char:
                 seen_char.add(key)
                 run_characterization(cell.phase, "oracle", cell.settings)
+        # ReplayCells share no probe prefix: each run is self-contained.
 
 
 def sweep(
@@ -456,6 +555,13 @@ def sweep(
     _prewarm_shared_probes(pending)
     pending = [cell for cell in pending if not _cell_cached(cell)]
     if pending:
+        # Snapshot replay keys before dispatch: they embed the trace
+        # file's identity, which may change while the workers run.
+        replay_keys = {
+            cell: _replay_key(cell.trace, cell.policy, cell.settings)
+            for cell in pending
+            if isinstance(cell, ReplayCell)
+        }
         ctx = multiprocessing.get_context()
         with ctx.Pool(
             processes=min(jobs, len(pending)),
@@ -463,7 +569,7 @@ def sweep(
             initargs=(dict(_capacity_cache), dict(_oracle_peak_cache)),
         ) as pool:
             for cell, result in zip(pending, pool.map(run_cell, pending)):
-                _store_cell(cell, result)
+                _store_cell(cell, result, replay_keys.get(cell))
     return {cell: run_cell(cell) for cell in unique}
 
 

@@ -3,8 +3,9 @@
 An :class:`ExperimentSpec` describes one paper figure as data:
 
 * ``cells`` — the simulation work items (:class:`~repro.harness.runner.EvalCell`
-  / :class:`~repro.harness.runner.CharCell`) the figure needs, as a function
-  of its settings;
+  / :class:`~repro.harness.runner.CharCell` /
+  :class:`~repro.harness.runner.ReplayCell`) the figure needs, as a
+  function of its settings;
 * ``build`` — a pure function that assembles the
   :class:`~repro.harness.report.FigureResult` from the memoized runs.
 
@@ -37,8 +38,9 @@ class ExperimentSpec:
     #: ``build(settings) -> FigureResult``; must tolerate ``settings=None``
     #: (each builder falls back to its scale-default settings).
     build: Callable[[Any], FigureResult]
-    #: ``cells(settings) -> tuple[Cell, ...]``; None for figures whose
-    #: simulations are too cheap to be worth dispatching.
+    #: ``cells(settings) -> tuple[Cell, ...]`` (eval, characterization or
+    #: replay cells); None for figures whose simulations are too cheap to
+    #: be worth dispatching.
     cells: Callable[[Any], tuple[Cell, ...]] | None = None
     #: Zero-arg factory for the figure's scale-default settings.
     settings_factory: Callable[[], Any] | None = None

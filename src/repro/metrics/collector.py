@@ -24,30 +24,35 @@ class RunMetrics:
     # ------------------------------------------------------------------
     # latency views
     # ------------------------------------------------------------------
+    # Each accessor is called exactly once per request: these views sit in
+    # hot figure paths, and the `f(r) ... if f(r) is not None` idiom would
+    # double the per-request work.
     def ttfts(self) -> list[float]:
-        return [r.ttft() for r in self.requests if r.ttft() is not None]
+        return [t for t in (r.ttft() for r in self.requests) if t is not None]
 
     def ttfats(self) -> list[float]:
-        return [r.ttfat() for r in self.requests if r.ttfat() is not None]
+        return [t for t in (r.ttfat() for r in self.requests) if t is not None]
 
     def e2e_latencies(self) -> list[float]:
         return [
-            r.e2e_latency() for r in self.requests if r.e2e_latency() is not None
+            t
+            for t in (r.e2e_latency() for r in self.requests)
+            if t is not None
         ]
 
     def reasoning_latencies(self) -> list[float]:
         return [
-            r.reasoning_latency()
-            for r in self.requests
-            if r.reasoning_latency() is not None
+            t
+            for t in (r.reasoning_latency() for r in self.requests)
+            if t is not None
         ]
 
     def blocking_latencies(self) -> list[float]:
         """Phase-transition blocking latency (Figure 13(c))."""
         return [
-            r.blocking_latency()
-            for r in self.requests
-            if r.blocking_latency() is not None
+            t
+            for t in (r.blocking_latency() for r in self.requests)
+            if t is not None
         ]
 
     def mean_ttft(self) -> float:

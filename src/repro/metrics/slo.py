@@ -21,11 +21,20 @@ from repro.metrics.qoe import qoe_for_request, qoe_with_ttfat
 
 @dataclass(frozen=True)
 class SLOReport:
-    """Violation accounting over a set of finished requests."""
+    """Violation accounting over a set of requests.
+
+    ``n_requests`` covers *every* request handed to :func:`evaluate_slo`,
+    including the ``n_unscored`` ones that produced no QoE score (no
+    answering token ever delivered, or no reasoning-end anchor for the
+    TTFAT variant).  Unscored requests are counted as violations: a
+    starved request cannot have met its SLO, and silently dropping it
+    would let a policy *improve* its attainment rate by never answering.
+    """
 
     n_requests: int
     n_violations: int
     qoe_scores: tuple[float, ...]
+    n_unscored: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -37,24 +46,38 @@ class SLOReport:
     def attainment_rate(self) -> float:
         return 1.0 - self.violation_rate
 
+    @property
+    def mean_qoe(self) -> float | None:
+        """Mean QoE over the scored requests (None when nothing scored)."""
+        if not self.qoe_scores:
+            return None
+        return sum(self.qoe_scores) / len(self.qoe_scores)
+
 
 def evaluate_slo(
     requests,
     slo: SLOConfig,
     include_ttfat: bool = False,
 ) -> SLOReport:
-    """Count SLO violations under either QoE variant."""
+    """Count SLO violations under either QoE variant.
+
+    Requests without a QoE score (never answered / unfinished) count as
+    violations and are reported via :attr:`SLOReport.n_unscored`.
+    """
     scores: list[float] = []
     violations = 0
     counted = 0
+    unscored = 0
     for req in requests:
         if include_ttfat:
             score = qoe_with_ttfat(req, slo.tpot_target_s, slo.ttfat_target_s)
         else:
             score = qoe_for_request(req, slo.tpot_target_s)
-        if score is None:
-            continue
         counted += 1
+        if score is None:
+            unscored += 1
+            violations += 1
+            continue
         scores.append(score)
         if score < slo.qoe_threshold:
             violations += 1
@@ -62,4 +85,5 @@ def evaluate_slo(
         n_requests=counted,
         n_violations=violations,
         qoe_scores=tuple(scores),
+        n_unscored=unscored,
     )

@@ -1,7 +1,35 @@
-"""Trace assembly: datasets + arrival processes -> request lists."""
+"""Trace assembly and replay: synthesis, JSONL record mode, JSONL loading.
+
+Two ways to obtain a serving trace:
+
+* **Synthesis** — :class:`TraceConfig` + :func:`build_trace` draw request
+  lengths from a dataset model and arrivals from a Poisson process (the
+  paper's Section V setup).
+* **Replay** — :class:`ReplayTraceConfig` + :func:`build_replay_trace` load
+  a recorded JSONL trace, so production logs (or previously synthesized
+  traces) can be replayed byte-identically through every policy.
+
+The JSONL trace format (version 1) is one header object followed by one
+object per request, arrival-ordered::
+
+    {"format": "pascal-trace", "version": 1}
+    {"answer_len": 50, "arrival_t": 0.0, "dataset": "alpaca-eval-2.0",
+     "id": 0, "prompt_len": 12, "reasoning_len": 100}
+
+``arrival_t`` (seconds, non-decreasing), ``prompt_len`` (>= 1),
+``reasoning_len`` (>= 0) and ``answer_len`` (>= 1) are required;
+``dataset`` (string tag), ``id`` (unique request id, defaults to the
+record's position) and ``skip_prefill`` (the prompt+reasoning KV cache
+already exists, Figure 5's workload) are optional.  :func:`export_trace`
+writes this format with sorted keys, so export -> load -> export is
+byte-identical.
+"""
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass
 
 from repro.sim.rng import RandomStreams
@@ -9,10 +37,18 @@ from repro.workload import arrival
 from repro.workload.datasets import DatasetSpec, MixedDataset, sample_trace
 from repro.workload.request import Request
 
+TRACE_FORMAT = "pascal-trace"
+TRACE_VERSION = 1
+
+#: Fields a version-1 trace record may carry.
+_REQUIRED_FIELDS = ("arrival_t", "prompt_len", "reasoning_len", "answer_len")
+_OPTIONAL_FIELDS = ("dataset", "id", "skip_prefill")
+_ALLOWED_FIELDS = frozenset(_REQUIRED_FIELDS + _OPTIONAL_FIELDS)
+
 
 @dataclass(frozen=True)
 class TraceConfig:
-    """How to build one serving trace."""
+    """How to synthesize one serving trace."""
 
     dataset: DatasetSpec | MixedDataset
     n_requests: int
@@ -35,6 +71,303 @@ def build_trace(config: TraceConfig) -> list[Request]:
     return sample_trace(config.dataset, config.n_requests, arrivals, streams)
 
 
+# ---------------------------------------------------------------------------
+# JSONL record mode (export)
+# ---------------------------------------------------------------------------
+def trace_record(req: Request) -> dict:
+    """The static (pre-simulation) fields of a request as a trace record."""
+    record: dict = {
+        "id": req.rid,
+        "arrival_t": float(req.arrival_t),
+        "prompt_len": req.prompt_len,
+        "reasoning_len": req.reasoning_len,
+        "answer_len": req.answer_len,
+    }
+    if req.dataset:
+        record["dataset"] = req.dataset
+    if req.skip_prefill:
+        record["skip_prefill"] = True
+    return record
+
+
+def dump_trace(requests: list[Request]) -> str:
+    """Serialize requests to the JSONL trace format (arrival-ordered).
+
+    Keys are sorted so the output is canonical: loading an exported trace
+    and exporting it again reproduces the file byte for byte.
+    """
+    ordered = sorted(requests, key=lambda r: (r.arrival_t, r.rid))
+    lines = [
+        json.dumps(
+            {"format": TRACE_FORMAT, "version": TRACE_VERSION}, sort_keys=True
+        )
+    ]
+    lines.extend(json.dumps(trace_record(req), sort_keys=True) for req in ordered)
+    return "\n".join(lines) + "\n"
+
+
+def export_trace(requests: list[Request], path: str | os.PathLike) -> None:
+    """Record a trace (synthesized or simulated) to a JSONL file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_trace(requests))
+
+
+# ---------------------------------------------------------------------------
+# JSONL loading (replay)
+# ---------------------------------------------------------------------------
+class TraceFormatError(ValueError):
+    """A trace file failed validation, with the offending line pinpointed."""
+
+    def __init__(self, path: str | os.PathLike, line_no: int, message: str):
+        self.path = str(path)
+        self.line_no = line_no
+        self.message = message
+        super().__init__(f"{path}:{line_no}: {message}")
+
+    def __reduce__(self):
+        # Default pickling would replay __init__ with the single formatted
+        # string and crash the unpickler — which deadlocks multiprocessing
+        # pools when a worker raises from load_trace.
+        return (TraceFormatError, (self.path, self.line_no, self.message))
+
+
+def _make_request(
+    rid: int,
+    prompt_len: int,
+    reasoning_len: int,
+    answer_len: int,
+    arrival_t: float,
+    skip_prefill: bool,
+    dataset: str,
+) -> Request:
+    """Build a request from its static trace fields.
+
+    Owns the skip_prefill coupling: a precomputed-context request must have
+    its reasoning marked done at arrival, exactly as the Figure 5 workload
+    synthesizer does.
+    """
+    req = Request(
+        rid=rid,
+        prompt_len=prompt_len,
+        reasoning_len=reasoning_len,
+        answer_len=answer_len,
+        arrival_t=arrival_t,
+        skip_prefill=skip_prefill,
+        dataset=dataset,
+    )
+    if skip_prefill:
+        req.mark_reasoning_precomputed(arrival_t)
+    return req
+
+
+def _require_int(obj: dict, field: str, minimum: int, path, line_no) -> int:
+    value = obj[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TraceFormatError(
+            path, line_no, f"{field} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise TraceFormatError(
+            path, line_no, f"{field} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _parse_record(obj, rid_default: int, path, line_no) -> Request:
+    if not isinstance(obj, dict):
+        raise TraceFormatError(
+            path, line_no, f"expected a JSON object, got {type(obj).__name__}"
+        )
+    unknown = sorted(set(obj) - _ALLOWED_FIELDS)
+    if unknown:
+        raise TraceFormatError(
+            path,
+            line_no,
+            f"unknown field(s) {', '.join(map(repr, unknown))} "
+            f"(allowed: {', '.join(sorted(_ALLOWED_FIELDS))})",
+        )
+    missing = [f for f in _REQUIRED_FIELDS if f not in obj]
+    if missing:
+        raise TraceFormatError(
+            path, line_no, f"missing required field(s) {', '.join(missing)}"
+        )
+    arrival_t = obj["arrival_t"]
+    if isinstance(arrival_t, bool) or not isinstance(arrival_t, (int, float)):
+        raise TraceFormatError(
+            path, line_no, f"arrival_t must be a number, got {arrival_t!r}"
+        )
+    # json.loads accepts NaN/Infinity literals, and NaN slips through every
+    # `<` comparison — catch it here or it poisons the simulation clock.
+    if not math.isfinite(arrival_t) or arrival_t < 0:
+        raise TraceFormatError(
+            path, line_no, f"arrival_t must be finite and >= 0, got {arrival_t}"
+        )
+    prompt_len = _require_int(obj, "prompt_len", 1, path, line_no)
+    reasoning_len = _require_int(obj, "reasoning_len", 0, path, line_no)
+    answer_len = _require_int(obj, "answer_len", 1, path, line_no)
+    rid = rid_default
+    if "id" in obj:
+        rid = _require_int(obj, "id", 0, path, line_no)
+    dataset = obj.get("dataset", "")
+    if not isinstance(dataset, str):
+        raise TraceFormatError(
+            path, line_no, f"dataset must be a string, got {dataset!r}"
+        )
+    skip_prefill = obj.get("skip_prefill", False)
+    if not isinstance(skip_prefill, bool):
+        raise TraceFormatError(
+            path, line_no, f"skip_prefill must be a boolean, got {skip_prefill!r}"
+        )
+    if skip_prefill and reasoning_len != 0:
+        raise TraceFormatError(
+            path,
+            line_no,
+            "skip_prefill requires reasoning_len == 0 "
+            "(the reasoning KV cache is declared precomputed)",
+        )
+    return _make_request(
+        rid=rid,
+        prompt_len=prompt_len,
+        reasoning_len=reasoning_len,
+        answer_len=answer_len,
+        arrival_t=float(arrival_t),
+        skip_prefill=skip_prefill,
+        dataset=dataset,
+    )
+
+
+def _parse_header(obj, path, line_no) -> None:
+    if not isinstance(obj, dict) or obj.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            path,
+            line_no,
+            'first line must be the header {"format": "pascal-trace", '
+            '"version": 1}',
+        )
+    version = obj.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            path,
+            line_no,
+            f"unsupported trace version {version!r} "
+            f"(this reader understands version {TRACE_VERSION})",
+        )
+
+
+def load_trace(path: str | os.PathLike) -> list[Request]:
+    """Load a JSONL trace into fresh :class:`Request` objects.
+
+    Every call returns newly constructed requests (simulation mutates them,
+    so replaying one trace through several policies needs a fresh list each
+    run).  Malformed lines raise :class:`TraceFormatError` naming the file
+    and line.
+    """
+    requests: list[Request] = []
+    seen_ids: set[int] = set()
+    header_seen = False
+    prev_arrival = 0.0
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    path, line_no, f"invalid JSON: {exc.msg}"
+                ) from None
+            if not header_seen:
+                _parse_header(obj, path, line_no)
+                header_seen = True
+                continue
+            req = _parse_record(obj, rid_default=len(requests), path=path,
+                                line_no=line_no)
+            if req.arrival_t < prev_arrival:
+                raise TraceFormatError(
+                    path,
+                    line_no,
+                    f"arrival_t {req.arrival_t} out of order "
+                    f"(previous request arrived at {prev_arrival})",
+                )
+            if req.rid in seen_ids:
+                raise TraceFormatError(
+                    path, line_no, f"duplicate request id {req.rid}"
+                )
+            seen_ids.add(req.rid)
+            prev_arrival = req.arrival_t
+            requests.append(req)
+    if not header_seen:
+        raise TraceFormatError(path, 1, "empty trace file (missing header)")
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# replay configuration
+# ---------------------------------------------------------------------------
+def scale_arrival_rate(
+    requests: list[Request], rate_scale: float
+) -> list[Request]:
+    """Rebuild a trace with arrivals compressed by ``rate_scale``.
+
+    ``rate_scale=2.0`` halves every inter-arrival gap (twice the offered
+    load); ``0.5`` doubles it.  Returns fresh :class:`Request` objects —
+    arrival time seeds the request's internal accounting clock, so it
+    cannot be patched in place.
+    """
+    if not math.isfinite(rate_scale) or rate_scale <= 0:
+        raise ValueError(
+            f"rate_scale must be finite and positive, got {rate_scale}"
+        )
+    return [
+        _make_request(
+            rid=req.rid,
+            prompt_len=req.prompt_len,
+            reasoning_len=req.reasoning_len,
+            answer_len=req.answer_len,
+            arrival_t=req.arrival_t / rate_scale,
+            skip_prefill=req.skip_prefill,
+            dataset=req.dataset,
+        )
+        for req in requests
+    ]
+
+
+@dataclass(frozen=True)
+class ReplayTraceConfig:
+    """How to replay one recorded trace (the counterpart of TraceConfig).
+
+    ``rate_scale`` rescales arrivals at load time, so one recorded trace
+    yields low/medium/high load tiers without re-recording.
+    """
+
+    path: str
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate_scale) or self.rate_scale <= 0:
+            raise ValueError(
+                f"rate_scale must be finite and positive, got {self.rate_scale}"
+            )
+
+    @property
+    def name(self) -> str:
+        stem = os.path.splitext(os.path.basename(self.path))[0]
+        if self.rate_scale == 1.0:
+            return stem
+        return f"{stem}@x{self.rate_scale:g}"
+
+
+def build_replay_trace(config: ReplayTraceConfig) -> list[Request]:
+    """Load (and optionally rate-rescale) a recorded trace for one run."""
+    requests = load_trace(config.path)
+    if config.rate_scale != 1.0:
+        requests = scale_arrival_rate(requests, config.rate_scale)
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
 def trace_token_stats(requests: list[Request]) -> dict[str, float]:
     """Summary statistics of a trace (used by distribution benchmarks)."""
     if not requests:

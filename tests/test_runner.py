@@ -111,6 +111,24 @@ class TestCharacterizationRunner:
         with pytest.raises(ValueError):
             run_characterization("prefill", "fcfs", self.small())
 
+    def test_oracle_uncapped_when_only_peak_cache_is_warm(self):
+        # After a parallel sweep of non-oracle cells, _store_cell seeds the
+        # oracle *peak* cache but not the oracle's own characterization
+        # entry.  A subsequent oracle query must still run at full
+        # capacity, not fall through to the 50%-of-peak cap.
+        from repro.harness.runner import _store_cell
+
+        settings = self.small()
+        oracle_full = run_characterization("reasoning", "oracle", settings)
+        fcfs = run_characterization("reasoning", "fcfs", settings)
+        clear_caches()
+        _store_cell(CharCell("reasoning", "fcfs", settings), fcfs)
+
+        oracle = run_characterization("reasoning", "oracle", settings)
+        assert oracle.capacity_tokens == oracle_full.capacity_tokens
+        assert oracle.capacity_tokens > fcfs.capacity_tokens
+        assert oracle.oracle_peak_tokens == oracle_full.oracle_peak_tokens
+
 
 class TestSweep:
     @pytest.fixture(autouse=True)

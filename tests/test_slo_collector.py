@@ -71,10 +71,32 @@ class TestEvaluateSlo:
         assert report.violation_rate == 0.0
         assert report.attainment_rate == 1.0
 
-    def test_unfinished_requests_not_counted(self):
+    def test_never_answered_request_counts_as_violation(self):
+        # Regression: unscored requests used to be dropped, so a policy
+        # that starved requests *improved* its attainment rate.
         pending = Request(rid=1, prompt_len=8, reasoning_len=2, answer_len=2)
         report = evaluate_slo([pending], SLOConfig())
-        assert report.n_requests == 0
+        assert report.n_requests == 1
+        assert report.n_violations == 1
+        assert report.n_unscored == 1
+        assert report.violation_rate == 1.0
+        assert report.attainment_rate == 0.0
+        assert report.qoe_scores == ()
+
+    def test_starvation_cannot_improve_attainment(self):
+        slo = SLOConfig()
+        served = [served_request(i) for i in range(3)]
+        starved = Request(rid=9, prompt_len=8, reasoning_len=2, answer_len=2)
+        full = evaluate_slo(served + [starved], slo)
+        served_only = evaluate_slo(served, slo)
+        assert full.attainment_rate < served_only.attainment_rate
+        assert full.n_requests == 4
+        assert full.n_unscored == 1
+
+    def test_mean_qoe(self):
+        report = evaluate_slo([served_request(1)], SLOConfig())
+        assert report.mean_qoe == pytest.approx(1.0, abs=0.01)
+        assert evaluate_slo([], SLOConfig()).mean_qoe is None
 
 
 class TestRunMetrics:
@@ -125,3 +147,45 @@ class TestRunMetrics:
         req.answer_sched_t = 1.5
         metrics = RunMetrics(policy="test", requests=[req])
         assert metrics.blocking_latencies() == [pytest.approx(0.5)]
+
+    def test_latency_views_call_each_accessor_once(self):
+        # Regression: the views used to evaluate `r.ttft()` twice per
+        # request (once to filter, once to collect), doubling the work in
+        # hot figure paths.
+        class CountingRequest:
+            def __init__(self):
+                self.calls = {}
+
+            def _count(self, name, value):
+                self.calls[name] = self.calls.get(name, 0) + 1
+                return value
+
+            def ttft(self):
+                return self._count("ttft", 1.0)
+
+            def ttfat(self):
+                return self._count("ttfat", None)
+
+            def e2e_latency(self):
+                return self._count("e2e", 2.0)
+
+            def reasoning_latency(self):
+                return self._count("reasoning", None)
+
+            def blocking_latency(self):
+                return self._count("blocking", 0.5)
+
+        req = CountingRequest()
+        metrics = RunMetrics(policy="test", requests=[req])
+        assert metrics.ttfts() == [1.0]
+        assert metrics.ttfats() == []
+        assert metrics.e2e_latencies() == [2.0]
+        assert metrics.reasoning_latencies() == []
+        assert metrics.blocking_latencies() == [0.5]
+        assert req.calls == {
+            "ttft": 1,
+            "ttfat": 1,
+            "e2e": 1,
+            "reasoning": 1,
+            "blocking": 1,
+        }

@@ -1,0 +1,465 @@
+"""Trace replay: JSONL round-trip, loader validation, sweep parity."""
+
+import json
+
+import pytest
+
+from repro.harness.replay import replay_cells, trace_compare
+from repro.harness.runner import (
+    ReplayCell,
+    ReplaySettings,
+    clear_caches,
+    run_cell,
+    run_replay,
+    sweep,
+)
+from repro.workload.datasets import ALPACA_EVAL, reasoning_heavy_mix
+from repro.workload.synthetic import answering_phase_workload
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    TraceFormatError,
+    build_replay_trace,
+    build_trace,
+    dump_trace,
+    export_trace,
+    load_trace,
+    scale_arrival_rate,
+)
+
+HEADER = '{"format": "pascal-trace", "version": 1}'
+RECORD = (
+    '{"answer_len": 4, "arrival_t": %s, "id": %d, '
+    '"prompt_len": 8, "reasoning_len": 2}'
+)
+
+
+def request_view(requests):
+    """The static identity of a request list (what replay must preserve)."""
+    return [
+        (
+            r.rid,
+            r.arrival_t,
+            r.prompt_len,
+            r.reasoning_len,
+            r.answer_len,
+            r.dataset,
+            r.skip_prefill,
+        )
+        for r in requests
+    ]
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def synthesized(n=12, rate=2.0, seed=3):
+    return build_trace(
+        TraceConfig(
+            dataset=ALPACA_EVAL,
+            n_requests=n,
+            arrival_rate_per_s=rate,
+            seed=seed,
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_export_load_identical_requests(self, tmp_path):
+        trace = synthesized()
+        path = tmp_path / "trace.jsonl"
+        export_trace(trace, path)
+        assert request_view(load_trace(path)) == request_view(trace)
+
+    def test_export_load_export_byte_identical(self, tmp_path):
+        trace = synthesized()
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        export_trace(trace, first)
+        export_trace(load_trace(first), second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_mixture_round_trip_keeps_dataset_tags(self, tmp_path):
+        trace = build_trace(
+            TraceConfig(reasoning_heavy_mix(), 20, 2.0, seed=5)
+        )
+        path = tmp_path / "mix.jsonl"
+        export_trace(trace, path)
+        loaded = load_trace(path)
+        assert {r.dataset for r in loaded} == {r.dataset for r in trace}
+        assert request_view(loaded) == request_view(trace)
+
+    def test_export_sorts_simulated_completion_order(self, tmp_path):
+        # Record mode accepts requests in any order (e.g. completion order
+        # straight off cluster.completed) and writes arrival order.
+        trace = synthesized()
+        shuffled = list(reversed(trace))
+        path = tmp_path / "sorted.jsonl"
+        export_trace(shuffled, path)
+        assert request_view(load_trace(path)) == request_view(trace)
+
+    def test_skip_prefill_round_trip(self, tmp_path):
+        import random
+
+        trace = answering_phase_workload(
+            5, [0.0, 0.5, 1.0, 1.5, 2.0], random.Random(1)
+        )
+        path = tmp_path / "answering.jsonl"
+        export_trace(trace, path)
+        loaded = load_trace(path)
+        assert request_view(loaded) == request_view(trace)
+        # The precomputed-reasoning marker must be re-applied on load.
+        assert all(r.reasoning_end_t == r.arrival_t for r in loaded)
+
+    def test_load_returns_fresh_objects_each_call(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_trace(synthesized(), path)
+        first = load_trace(path)
+        second = load_trace(path)
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_dump_trace_ends_with_newline(self):
+        assert dump_trace(synthesized()).endswith("\n")
+
+
+class TestLoaderValidation:
+    def test_malformed_json_names_file_and_line(self, tmp_path):
+        path = write_lines(
+            tmp_path / "bad.jsonl", [HEADER, RECORD % ("0.0", 0), "{oops"]
+        )
+        with pytest.raises(TraceFormatError, match=r"bad\.jsonl:3: invalid JSON"):
+            load_trace(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = write_lines(tmp_path / "t.jsonl", [RECORD % ("0.0", 0)])
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = write_lines(
+            tmp_path / "t.jsonl",
+            ['{"format": "pascal-trace", "version": 99}'],
+        )
+        with pytest.raises(TraceFormatError, match="version 99"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(TraceFormatError, match="empty trace"):
+            load_trace(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = write_lines(
+            tmp_path / "t.jsonl",
+            [HEADER, '{"arrival_t": 0.0, "prompt_len": 8, "reasoning_len": 2}'],
+        )
+        with pytest.raises(TraceFormatError, match="missing required.*answer_len"):
+            load_trace(path)
+
+    def test_unknown_field_rejected(self, tmp_path):
+        record = json.dumps(
+            {
+                "arrival_t": 0.0,
+                "prompt_len": 8,
+                "reasoning_len": 2,
+                "answer_len": 4,
+                "tempersture": 0.7,
+            }
+        )
+        path = write_lines(tmp_path / "t.jsonl", [HEADER, record])
+        with pytest.raises(TraceFormatError, match="unknown field.*tempersture"):
+            load_trace(path)
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("prompt_len", 0, "prompt_len must be >= 1"),
+            ("prompt_len", -3, "prompt_len must be >= 1"),
+            ("reasoning_len", -1, "reasoning_len must be >= 0"),
+            ("answer_len", 0, "answer_len must be >= 1"),
+            ("arrival_t", -0.5, "arrival_t must be finite and >= 0"),
+            ("prompt_len", 7.5, "prompt_len must be an integer"),
+            ("arrival_t", "soon", "arrival_t must be a number"),
+        ],
+    )
+    def test_bad_values_rejected_with_line_number(
+        self, tmp_path, field, value, match
+    ):
+        record = {
+            "arrival_t": 0.0,
+            "prompt_len": 8,
+            "reasoning_len": 2,
+            "answer_len": 4,
+        }
+        record[field] = value
+        path = write_lines(
+            tmp_path / "t.jsonl",
+            [HEADER, RECORD % ("0.0", 0), json.dumps(record)],
+        )
+        with pytest.raises(TraceFormatError, match=match) as exc:
+            load_trace(path)
+        assert exc.value.line_no == 3
+
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_nonfinite_arrival_rejected(self, tmp_path, literal):
+        # json.loads accepts these literals; NaN in particular slips past
+        # every `<` comparison and would poison the simulation clock.
+        record = (
+            '{"answer_len": 4, "arrival_t": %s, "prompt_len": 8, '
+            '"reasoning_len": 2}' % literal
+        )
+        path = write_lines(tmp_path / "t.jsonl", [HEADER, record])
+        with pytest.raises(TraceFormatError, match="arrival_t must be finite"):
+            load_trace(path)
+
+    def test_out_of_order_arrivals_rejected(self, tmp_path):
+        path = write_lines(
+            tmp_path / "t.jsonl",
+            [HEADER, RECORD % ("2.0", 0), RECORD % ("1.0", 1)],
+        )
+        with pytest.raises(TraceFormatError, match="out of order") as exc:
+            load_trace(path)
+        assert exc.value.line_no == 3
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        path = write_lines(
+            tmp_path / "t.jsonl",
+            [HEADER, RECORD % ("0.0", 7), RECORD % ("1.0", 7)],
+        )
+        with pytest.raises(TraceFormatError, match="duplicate request id 7"):
+            load_trace(path)
+
+    def test_skip_prefill_with_reasoning_rejected(self, tmp_path):
+        record = json.dumps(
+            {
+                "arrival_t": 0.0,
+                "prompt_len": 8,
+                "reasoning_len": 2,
+                "answer_len": 4,
+                "skip_prefill": True,
+            }
+        )
+        path = write_lines(tmp_path / "t.jsonl", [HEADER, record])
+        with pytest.raises(TraceFormatError, match="skip_prefill"):
+            load_trace(path)
+
+    def test_format_error_pickles_round_trip(self):
+        # Workers raise TraceFormatError across process boundaries; a
+        # non-picklable exception deadlocks the multiprocessing pool.
+        import pickle
+
+        err = TraceFormatError("/tmp/t.jsonl", 3, "bad value")
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == str(err)
+        assert (clone.path, clone.line_no, clone.message) == (
+            "/tmp/t.jsonl",
+            3,
+            "bad value",
+        )
+
+    def test_record_line_not_an_object_rejected(self, tmp_path):
+        path = write_lines(tmp_path / "t.jsonl", [HEADER, "[1, 2, 3]"])
+        with pytest.raises(TraceFormatError, match="expected a JSON object"):
+            load_trace(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = write_lines(
+            tmp_path / "t.jsonl", [HEADER, "", RECORD % ("0.0", 0), ""]
+        )
+        assert len(load_trace(path)) == 1
+
+    def test_ids_default_to_position(self, tmp_path):
+        record = (
+            '{"answer_len": 4, "arrival_t": 0.0, "prompt_len": 8, '
+            '"reasoning_len": 2}'
+        )
+        path = write_lines(tmp_path / "t.jsonl", [HEADER, record, record])
+        assert [r.rid for r in load_trace(path)] == [0, 1]
+
+
+class TestRateScaling:
+    def test_scale_compresses_arrivals(self):
+        trace = synthesized()
+        scaled = scale_arrival_rate(trace, 2.0)
+        for original, clone in zip(trace, scaled):
+            assert clone.arrival_t == pytest.approx(original.arrival_t / 2.0)
+            assert clone.rid == original.rid
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_arrival_rate(synthesized(2), 0.0)
+        with pytest.raises(ValueError):
+            ReplayTraceConfig(path="x.jsonl", rate_scale=-1.0)
+
+    def test_scale_rejects_nonfinite(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                scale_arrival_rate(synthesized(2), bad)
+            with pytest.raises(ValueError, match="finite"):
+                ReplayTraceConfig(path="x.jsonl", rate_scale=bad)
+
+    def test_build_replay_trace_applies_scale(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace = synthesized()
+        export_trace(trace, path)
+        slow = build_replay_trace(ReplayTraceConfig(str(path), rate_scale=0.5))
+        assert slow[-1].arrival_t == pytest.approx(trace[-1].arrival_t * 2.0)
+
+    def test_config_name_encodes_scale(self):
+        assert ReplayTraceConfig("/tmp/prod.jsonl").name == "prod"
+        assert (
+            ReplayTraceConfig("/tmp/prod.jsonl", rate_scale=2.0).name
+            == "prod@x2"
+        )
+
+
+@pytest.fixture
+def small_trace(tmp_path):
+    path = tmp_path / "replay.jsonl"
+    export_trace(synthesized(n=16, rate=3.0, seed=9), path)
+    return ReplayTraceConfig(path=str(path))
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+SMALL_SETTINGS = ReplaySettings(n_instances=2, kv_capacity_tokens=8000)
+
+
+class TestReplayRunner:
+    def test_run_replay_drains_and_collects(self, small_trace):
+        metrics = run_replay(small_trace, "fcfs", SMALL_SETTINGS)
+        assert metrics.policy == "fcfs"
+        assert len(metrics.requests) == 16
+        assert all(r.finished for r in metrics.requests)
+
+    def test_run_replay_memoized(self, small_trace):
+        first = run_replay(small_trace, "fcfs", SMALL_SETTINGS)
+        second = run_replay(small_trace, "fcfs", SMALL_SETTINGS)
+        assert first is second
+
+    def test_rewritten_trace_file_not_served_stale(self, tmp_path):
+        # The cache key includes the file's identity, not just its path.
+        path = tmp_path / "rewrite.jsonl"
+        export_trace(synthesized(n=8, seed=1), path)
+        trace = ReplayTraceConfig(path=str(path))
+        before = run_replay(trace, "fcfs", SMALL_SETTINGS)
+        export_trace(synthesized(n=12, seed=2), path)
+        after = run_replay(trace, "fcfs", SMALL_SETTINGS)
+        assert len(before.requests) == 8
+        assert len(after.requests) == 12
+
+    def test_policies_see_identical_workloads(self, small_trace):
+        fcfs = run_replay(small_trace, "fcfs", SMALL_SETTINGS)
+        rr = run_replay(small_trace, "rr", SMALL_SETTINGS)
+        assert request_view(
+            sorted(fcfs.requests, key=lambda r: r.rid)
+        ) == request_view(sorted(rr.requests, key=lambda r: r.rid))
+
+    def test_rate_scale_changes_the_run(self, small_trace):
+        base = run_replay(small_trace, "fcfs", SMALL_SETTINGS)
+        hot = run_replay(
+            ReplayTraceConfig(small_trace.path, rate_scale=4.0),
+            "fcfs",
+            SMALL_SETTINGS,
+        )
+        base_last = max(r.arrival_t for r in base.requests)
+        hot_last = max(r.arrival_t for r in hot.requests)
+        assert hot_last == pytest.approx(base_last / 4.0)
+
+    def test_run_cell_dispatches_replay(self, small_trace):
+        cell = ReplayCell(small_trace, "fcfs", SMALL_SETTINGS)
+        assert run_cell(cell) is run_replay(
+            small_trace, "fcfs", SMALL_SETTINGS
+        )
+
+
+class TestReplaySweep:
+    def cells(self, trace):
+        return [
+            ReplayCell(trace, policy, SMALL_SETTINGS)
+            for policy in ("fcfs", "rr", "pascal")
+        ]
+
+    def run_view(self, metrics):
+        return sorted(
+            (r.rid, r.done_t, r.n_preemptions) for r in metrics.requests
+        )
+
+    def test_serial_sweep_covers_all_cells(self, small_trace):
+        results = sweep(self.cells(small_trace), jobs=1)
+        assert set(results) == set(self.cells(small_trace))
+        for metrics in results.values():
+            assert len(metrics.requests) == 16
+
+    def test_parallel_sweep_matches_serial(self, small_trace):
+        serial = {
+            cell: self.run_view(run_cell(cell))
+            for cell in self.cells(small_trace)
+        }
+        clear_caches()
+        parallel = {
+            cell: self.run_view(metrics)
+            for cell, metrics in sweep(self.cells(small_trace), jobs=2).items()
+        }
+        assert serial == parallel
+
+    def test_parallel_sweep_seeds_the_cache(self, small_trace):
+        sweep(self.cells(small_trace), jobs=2)
+        first = run_replay(small_trace, "pascal", SMALL_SETTINGS)
+        second = run_replay(small_trace, "pascal", SMALL_SETTINGS)
+        assert first is second
+
+    def test_mixed_cell_kinds_sweep_together(self, small_trace):
+        from repro.harness.runner import CharCell, CharacterizationSettings
+
+        char_settings = CharacterizationSettings(
+            n_requests=10, reasoning_rate_per_s=0.5, answering_rate_per_s=0.5
+        )
+        cells = [
+            ReplayCell(small_trace, "fcfs", SMALL_SETTINGS),
+            CharCell("reasoning", "fcfs", char_settings),
+        ]
+        results = sweep(cells, jobs=2)
+        assert set(results) == set(cells)
+
+
+class TestTraceCompare:
+    def test_table_has_one_row_per_policy(self, small_trace):
+        result = trace_compare(
+            small_trace,
+            policies=("fcfs", "rr", "pascal"),
+            settings=SMALL_SETTINGS,
+            jobs=1,
+        )
+        assert result.column("policy") == ["fcfs", "rr", "pascal"]
+        assert all(n == 16 for n in result.column("n"))
+        assert result.render()
+
+    def test_defaults_to_registered_policies_minus_oracle(self, small_trace):
+        # The oracle is only an upper bound with capacity sized to peak
+        # demand; under a replay cluster's fixed capacity it would be a
+        # mislabeled second FCFS row, so the default set excludes it.
+        from repro.core.registry import policy_names
+
+        cells = replay_cells(small_trace, settings=SMALL_SETTINGS)
+        assert tuple(c.policy for c in cells) == tuple(
+            n for n in policy_names() if n != "oracle"
+        )
+        explicit = replay_cells(
+            small_trace, policies=("oracle",), settings=SMALL_SETTINGS
+        )
+        assert [c.policy for c in explicit] == ["oracle"]
+
+    def test_unknown_policy_fails_fast(self, small_trace):
+        with pytest.raises(ValueError, match="unknown policy"):
+            replay_cells(
+                small_trace, policies=("nope",), settings=SMALL_SETTINGS
+            )
