@@ -1,0 +1,19 @@
+"""Repo-root pytest configuration.
+
+Defines the ``--update-golden`` flag (options must be registered from a
+rootdir conftest): rewrite ``tests/golden/*.txt`` from the current outputs
+instead of asserting against them, so an intentional figure change is a
+one-line regeneration::
+
+    python -m pytest tests/test_golden_tables.py --update-golden
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden tables from current output instead of "
+        "asserting byte-identity",
+    )

@@ -1,0 +1,11 @@
+"""Microbenchmark suite: perf-trajectory tracking for the simulator.
+
+``python -m repro.harness bench`` runs the suite and emits a versioned
+``BENCH_<date>.json`` artifact so the event-loop throughput of the fig9
+hot path — and the ROADMAP's heapq-vs-bucket-queue ``EventQueue``
+question — can be tracked across commits.
+"""
+
+from repro.bench.suite import run_suite, write_bench_json
+
+__all__ = ["run_suite", "write_bench_json"]

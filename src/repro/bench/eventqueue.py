@@ -1,0 +1,104 @@
+"""EventQueue microbenchmark: heapq vs bucket queue on a real op stream.
+
+The engine's hot loop is ``EventQueue.push``/``pop`` (one pop plus a
+handful of pushes per simulated engine step).  Timing the queue on a
+synthetic uniform stream would flatter whichever implementation matches
+the synthetic distribution, so this module *records* the exact operation
+sequence a Figure-9-style simulation issues and replays it against each
+candidate:
+
+* :class:`~repro.sim.events.EventQueue` — the production binary heap;
+* :class:`~repro.sim.events.BucketEventQueue` — the calendar-queue
+  candidate from the ROADMAP's "next 2-3x" question.
+
+Replay drives ``push``/``pop``/``peek_time`` only; cancellation flags are
+owned by instances mid-run and are not part of the recorded stream (lazily
+deleted events appear as ordinary pops, which is how both implementations
+treat them).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.sim.events import BucketEventQueue, EventKind, EventQueue
+
+#: One recorded op: ("push", time, kind) | ("pop",) | ("peek",).
+Op = tuple
+
+
+class RecordingEventQueue(EventQueue):
+    """Production queue that journals every operation it serves."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ops: list[Op] = []
+
+    def push(self, time: float, kind: EventKind, payload: Any = None):
+        self.ops.append(("push", time, kind))
+        return super().push(time, kind, payload)
+
+    def pop(self):
+        self.ops.append(("pop",))
+        return super().pop()
+
+    def peek_time(self):
+        self.ops.append(("peek",))
+        return super().peek_time()
+
+
+def record_ops(run_simulation: Callable[["RecordingEventQueue"], None]) -> list[Op]:
+    """Journal the queue ops issued by one simulation.
+
+    ``run_simulation(queue)`` must install ``queue`` into an engine and
+    drive the run to completion.
+    """
+    queue = RecordingEventQueue()
+    run_simulation(queue)
+    return queue.ops
+
+
+def replay_ops(ops: list[Op], queue) -> None:
+    """Drive one queue implementation through a recorded op stream."""
+    push = queue.push
+    pop = queue.pop
+    peek = queue.peek_time
+    for op in ops:
+        tag = op[0]
+        if tag == "push":
+            push(op[1], op[2])
+        elif tag == "pop":
+            pop()
+        else:
+            peek()
+
+
+QUEUE_CANDIDATES: dict[str, Callable[[], object]] = {
+    "heapq": EventQueue,
+    "bucket": BucketEventQueue,
+}
+
+
+def bench_queue_replay(
+    ops: list[Op], repeats: int = 3
+) -> list[dict[str, float | int | str]]:
+    """Best-of-``repeats`` replay wall time for every queue candidate."""
+    rows = []
+    for name, factory in QUEUE_CANDIDATES.items():
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            queue = factory()
+            start = time.perf_counter()
+            replay_ops(ops, queue)
+            best = min(best, time.perf_counter() - start)
+        rows.append(
+            {
+                "name": f"eventqueue.{name}",
+                "ops": len(ops),
+                "best_wall_s": best,
+                "ops_per_s": len(ops) / best if best > 0 else 0.0,
+                "repeats": max(1, repeats),
+            }
+        )
+    return rows

@@ -1,0 +1,195 @@
+"""The benchmark suite behind ``python -m repro.harness bench``.
+
+Times the Figure 9 hot path — an AlpacaEval cluster simulation per policy
+— and replays its recorded ``EventQueue`` op stream through each queue
+candidate (:mod:`repro.bench.eventqueue`).  Results are printed as a table
+and written as a versioned ``BENCH_<date>.json`` perf-trajectory artifact:
+
+.. code-block:: json
+
+    {
+      "format": "pascal-bench",
+      "version": 1,
+      "created": "2026-07-31T12:00:00Z",
+      "fingerprint": "<simulator code fingerprint>",
+      "python": "3.12.3",
+      "platform": "Linux-...",
+      "config": {"n_requests": 240, "rate_per_s": 2.5, "seed": 11},
+      "benchmarks": [
+        {"name": "fig9.sim.fcfs", "wall_s": 1.9, "events": 81234,
+         "events_per_s": 42000.0, "requests": 240},
+        {"name": "eventqueue.heapq", "ops": 160000,
+         "best_wall_s": 0.05, "ops_per_s": 3200000.0, "repeats": 3}
+      ]
+    }
+
+The workload is deterministic (fixed seed, fixed arrival rate — no
+capacity probe, so the benchmark measures the simulator, not the
+calibration), which makes ``BENCH_*.json`` files comparable across
+commits of equal config.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.bench.eventqueue import bench_queue_replay, record_ops
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig
+from repro.harness.cache import code_fingerprint
+from repro.workload.datasets import ALPACA_EVAL
+from repro.workload.trace import TraceConfig, build_trace
+
+BENCH_FORMAT = "pascal-bench"
+BENCH_VERSION = 1
+
+#: Policies timed on the fig9 hot path: the paper's baseline and PASCAL.
+BENCH_POLICIES = ("fcfs", "pascal")
+
+
+def _bench_cluster(n_instances: int = 8) -> ClusterConfig:
+    instance = InstanceConfig(kv_capacity_tokens=60000)
+    return ClusterConfig(n_instances=n_instances, instance=instance)
+
+
+def _run_fig9_sim(
+    policy: str,
+    n_requests: int,
+    rate_per_s: float,
+    seed: int,
+) -> dict:
+    """One timed Figure-9-style run (fixed rate; no calibration probe)."""
+    trace = build_trace(
+        TraceConfig(
+            dataset=ALPACA_EVAL,
+            n_requests=n_requests,
+            arrival_rate_per_s=rate_per_s,
+            seed=seed,
+        )
+    )
+    cluster = Cluster(_bench_cluster(), policy=policy)
+    start = time.perf_counter()
+    cluster.run_trace(trace)
+    wall = time.perf_counter() - start
+    return {
+        "policy": policy,
+        "wall_s": wall,
+        "events": cluster.engine.events_processed,
+        "events_per_s": (
+            cluster.engine.events_processed / wall if wall > 0 else 0.0
+        ),
+        "requests": len(cluster.completed),
+    }
+
+
+def run_suite(
+    n_requests: int = 240,
+    rate_per_s: float = 2.5,
+    seed: int = 11,
+    repeats: int = 3,
+) -> dict:
+    """Run every benchmark and return the BENCH JSON document."""
+    benchmarks: list[dict] = []
+    for policy in BENCH_POLICIES:
+        run = _run_fig9_sim(policy, n_requests, rate_per_s, seed)
+        benchmarks.append(
+            {
+                "name": f"fig9.sim.{policy}",
+                "wall_s": run["wall_s"],
+                "events": run["events"],
+                "events_per_s": run["events_per_s"],
+                "requests": run["requests"],
+            }
+        )
+
+    # Record the exact op stream the fcfs run issues, then replay it
+    # through each queue candidate (heapq vs bucket).
+    def drive(queue) -> None:
+        trace = build_trace(
+            TraceConfig(
+                dataset=ALPACA_EVAL,
+                n_requests=n_requests,
+                arrival_rate_per_s=rate_per_s,
+                seed=seed,
+            )
+        )
+        cluster = Cluster(_bench_cluster(), policy="fcfs")
+        cluster.engine.queue = queue
+        cluster.run_trace(trace)
+
+    ops = record_ops(drive)
+    benchmarks.extend(bench_queue_replay(ops, repeats=repeats))
+
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "fingerprint": code_fingerprint(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {
+            "n_requests": n_requests,
+            "rate_per_s": rate_per_s,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def render_suite(result: dict) -> str:
+    """The BENCH document as a printable table."""
+    from repro.harness.report import render_table
+
+    rows = []
+    for bench in result["benchmarks"]:
+        if bench["name"].startswith("eventqueue."):
+            rows.append(
+                [
+                    bench["name"],
+                    bench["best_wall_s"],
+                    bench["ops"],
+                    bench["ops_per_s"],
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    bench["name"],
+                    bench["wall_s"],
+                    bench["events"],
+                    bench["events_per_s"],
+                ]
+            )
+    return render_table(
+        ["benchmark", "wall_s", "events/ops", "rate_per_s"],
+        rows,
+        title=f"[bench] simulator perf trajectory "
+        f"(fingerprint {result['fingerprint']})",
+    )
+
+
+def write_bench_json(result: dict, out: str | os.PathLike | None = None) -> str:
+    """Persist the BENCH document; returns the path written.
+
+    ``out`` may be a file path or a directory; a directory (or None,
+    meaning ``benchmarks/results`` when present, else the CWD) gets the
+    dated ``BENCH_<YYYY-MM-DD>.json`` name.
+    """
+    if out is None:
+        out = (
+            os.path.join("benchmarks", "results")
+            if os.path.isdir(os.path.join("benchmarks", "results"))
+            else "."
+        )
+    out = os.fspath(out)
+    if os.path.isdir(out):
+        date = time.strftime("%Y-%m-%d", time.gmtime())
+        out = os.path.join(out, f"BENCH_{date}.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return out

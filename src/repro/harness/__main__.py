@@ -10,6 +10,16 @@ Usage::
     python -m repro.harness all --jobs 8         # ... fanned out over 8 workers
     python -m repro.harness fig12 --scale paper  # full-size run
 
+    # the on-disk result store: reuse simulation cells across processes
+    python -m repro.harness figures --cache rw   # cell-backed tables, cached
+    python -m repro.harness all --scale both --cache rw   # quick + paper
+    python -m repro.harness cache ls             # inspect the store
+    python -m repro.harness cache prune          # drop stale/old entries
+    python -m repro.harness cache clear
+
+    # the perf-trajectory microbenchmarks (BENCH_<date>.json artifact)
+    python -m repro.harness bench
+
     # record a synthesized trace to JSONL, then replay it per policy:
     python -m repro.harness record-trace --dataset arena-hard \\
         --n-requests 200 --rate 2.0 --record-trace trace.jsonl
@@ -22,6 +32,13 @@ policy run, or one replayed trace x policy, per task): the requested cells
 are deduplicated, executed across worker processes, and every table is then
 built from the shared results — byte-identical to a serial run.
 
+``--cache {off,ro,rw}`` layers a content-addressed on-disk store under the
+in-process memoization (``rw`` reads and writes, ``ro`` only reads): each
+cell is addressed by the hash of its full spec plus a simulator-code
+fingerprint, so cached tables are byte-identical to fresh ones and a code
+change can never serve stale results.  ``figures`` is the cell-backed
+subset of ``all`` (everything the store can serve end-to-end).
+
 Results also land in ``benchmarks/results/`` when run via the benchmark
 suite; this entry point is for interactive exploration.
 """
@@ -33,6 +50,8 @@ import os
 import sys
 
 from repro.core.registry import get_policy_class, policy_table
+from repro.harness import cache as result_cache
+from repro.harness import runner
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.replay import trace_compare
 from repro.harness.runner import ReplaySettings, sweep
@@ -49,6 +68,9 @@ from repro.workload.trace import (
 #: Targets handled by the trace tools rather than the figure registry.
 TRACE_TARGETS = ("trace-compare", "record-trace")
 
+#: Sub-actions of the `cache` maintenance target.
+CACHE_ACTIONS = ("ls", "prune", "clear")
+
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -59,8 +81,9 @@ def _parser() -> argparse.ArgumentParser:
         "targets",
         nargs="*",
         metavar="EXPERIMENT",
-        help="experiment ids (see `list`), `all`, `list`, "
-        "`trace-compare`, or `record-trace`",
+        help="experiment ids (see `list`), `all`, `figures`, `list`, "
+        "`trace-compare`, `record-trace`, `bench`, or "
+        "`cache {ls,prune,clear}`",
     )
     parser.add_argument(
         "--jobs",
@@ -73,14 +96,60 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        choices=("quick", "paper"),
+        choices=("quick", "paper", "both"),
         default=None,
-        help="experiment scale (default: $REPRO_SCALE or 'quick')",
+        help="experiment scale (default: $REPRO_SCALE or 'quick'; "
+        "'both' runs quick then paper in one process, sharing cells)",
     )
     parser.add_argument(
         "--list-policies",
         action="store_true",
         help="print the registered cluster policies and exit",
+    )
+    store = parser.add_argument_group("on-disk result store")
+    store.add_argument(
+        "--cache",
+        choices=result_cache.CACHE_MODES,
+        default=os.environ.get("REPRO_CACHE", "off"),
+        help="disk store mode: off (default, or $REPRO_CACHE), "
+        "ro (read, never write), rw (read and write)",
+    )
+    store.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="store location (default: $PASCAL_CACHE_DIR or "
+        "~/.cache/pascal-repro)",
+    )
+    store.add_argument(
+        "--max-age-days",
+        type=float,
+        default=30.0,
+        metavar="D",
+        help="`cache prune`: also drop entries older than D days "
+        "(default: 30)",
+    )
+    bench = parser.add_argument_group("microbenchmarks (bench)")
+    bench.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help="BENCH json destination file or directory "
+        "(default: benchmarks/results/ if present, else CWD)",
+    )
+    bench.add_argument(
+        "--bench-requests",
+        type=int,
+        default=240,
+        metavar="N",
+        help="requests per timed fig9 run (default: 240)",
+    )
+    bench.add_argument(
+        "--bench-repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="best-of repeats for the queue replays (default: 3)",
     )
     replay = parser.add_argument_group("trace replay (trace-compare)")
     replay.add_argument(
@@ -141,11 +210,21 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cacheable_experiments() -> list[str]:
+    """The `figures` alias: every cell-backed (cacheable) experiment."""
+    return sorted(
+        name for name, spec in ALL_EXPERIMENTS.items() if spec.cells is not None
+    )
+
+
 def _print_experiment_list() -> None:
     for name in sorted(ALL_EXPERIMENTS):
         print(f"{name:20s} {ALL_EXPERIMENTS[name].title}")
+    print(f"{'figures':20s} All cell-backed tables (the disk-cacheable set)")
     print(f"{'record-trace':20s} Synthesize a trace and record it to JSONL")
     print(f"{'trace-compare':20s} Replay a JSONL trace through the policies")
+    print(f"{'bench':20s} Microbenchmarks -> BENCH_<date>.json artifact")
+    print(f"{'cache':20s} Result-store maintenance: cache ls|prune|clear")
 
 
 def _print_policies() -> None:
@@ -234,6 +313,70 @@ def _run_trace_compare(args) -> int:
     return 0
 
 
+def _run_cache_command(args, actions: list[str]) -> int:
+    """The `cache {ls,prune,clear}` maintenance subcommand."""
+    if len(actions) != 1 or actions[0] not in CACHE_ACTIONS:
+        got = " ".join(actions) if actions else "(nothing)"
+        print(
+            f"cache: expected one of {', '.join(CACHE_ACTIONS)}, got {got}",
+            file=sys.stderr,
+        )
+        return 2
+    # Maintenance needs write access regardless of the run mode.
+    store = result_cache.DiskCache("rw", args.cache_dir)
+    action = actions[0]
+    if action == "ls":
+        entries = store.entries()
+        total = 0
+        for info in entries:
+            total += info.size_bytes
+            print(
+                f"{info.key[:16]}  {info.kind:8s} {info.size_bytes:>10,d}B  "
+                f"{info.created}  {info.summary}"
+            )
+        print(
+            f"{len(entries)} entries, {total:,d} bytes in {store.root} "
+            f"(fingerprint {result_cache.code_fingerprint()})"
+        )
+        return 0
+    if action == "prune":
+        removed = store.prune(max_age_days=args.max_age_days)
+        print(f"pruned {removed} stale/old entries from {store.root}")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} entries from {store.root}")
+    return 0
+
+
+def _run_bench(args) -> int:
+    from repro.bench import run_suite, write_bench_json
+    from repro.bench.suite import render_suite
+
+    result = run_suite(
+        n_requests=args.bench_requests, repeats=args.bench_repeats
+    )
+    print(render_suite(result))
+    try:
+        path = write_bench_json(result, args.bench_out)
+    except OSError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    print(f"bench artifact -> {path}")
+    return 0
+
+
+def _print_cache_stats() -> None:
+    """One stderr line so stdout tables stay byte-comparable across runs."""
+    store = result_cache.active()
+    if store is None:
+        return
+    print(
+        f"[cache] mode={store.mode} dir={store.root} {store.stats.line()} "
+        f"simulations={runner.simulation_count()}",
+        file=sys.stderr,
+    )
+
+
 def main(argv: list[str]) -> int:
     args = _parser().parse_args(argv)
     if args.list_policies:
@@ -245,22 +388,45 @@ def main(argv: list[str]) -> int:
     if "list" in args.targets:
         _print_experiment_list()
         return 0
-    if args.scale is not None:
-        os.environ["REPRO_SCALE"] = args.scale
+    if args.targets[0] == "cache":
+        return _run_cache_command(args, args.targets[1:])
+    if args.cache not in result_cache.CACHE_MODES:
+        # argparse only validates `choices` for values given on the
+        # command line; the default can come from $REPRO_CACHE.
+        print(
+            f"--cache (or $REPRO_CACHE) must be one of "
+            f"{', '.join(result_cache.CACHE_MODES)}, got {args.cache!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache != "off":
+        result_cache.configure(args.cache, args.cache_dir)
 
     trace_targets = [t for t in args.targets if t in TRACE_TARGETS]
-    names = [t for t in args.targets if t not in TRACE_TARGETS]
+    names = [t for t in args.targets if t not in TRACE_TARGETS and t != "bench"]
     if "all" in names:
         names = sorted(ALL_EXPERIMENTS)
+    elif "figures" in names:
+        names = [n for n in names if n != "figures"]
+        names.extend(
+            n for n in _cacheable_experiments() if n not in names
+        )
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(
             f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
             f"try one of: {', '.join(sorted(ALL_EXPERIMENTS))}, "
-            f"{', '.join(TRACE_TARGETS)}",
+            f"figures, {', '.join(TRACE_TARGETS)}, bench, cache",
             file=sys.stderr,
         )
         return 2
+
+    if "bench" in args.targets:
+        status = _run_bench(args)
+        if status != 0 or args.targets == ["bench"]:
+            return status
+    if args.scale is not None and args.scale != "both":
+        os.environ["REPRO_SCALE"] = args.scale
 
     for target in trace_targets:
         handler = (
@@ -268,19 +434,30 @@ def main(argv: list[str]) -> int:
         )
         status = handler(args)
         if status != 0:
+            _print_cache_stats()
             return status
 
     # One deduplicated sweep over every requested figure's cells, then
-    # build each table from the shared results.
-    if args.jobs and args.jobs > 1:
-        cells: list = []
+    # build each table from the shared results.  With `--scale both` the
+    # quick and paper passes share one process (and one disk cache), so
+    # scale-independent work — capacity probes, identical cells — is
+    # reused across the passes.
+    scales = ("quick", "paper") if args.scale == "both" else (None,)
+    for scale in scales:
+        if scale is not None:
+            os.environ["REPRO_SCALE"] = scale
+            if names:
+                print(f"=== scale: {scale} ===\n")
+        if args.jobs and args.jobs > 1:
+            cells: list = []
+            for name in names:
+                cells.extend(ALL_EXPERIMENTS[name].required_cells())
+            if cells:
+                sweep(cells, jobs=args.jobs)
         for name in names:
-            cells.extend(ALL_EXPERIMENTS[name].required_cells())
-        if cells:
-            sweep(cells, jobs=args.jobs)
-    for name in names:
-        print(ALL_EXPERIMENTS[name]().render())
-        print()
+            print(ALL_EXPERIMENTS[name]().render())
+            print()
+    _print_cache_stats()
     return 0
 
 

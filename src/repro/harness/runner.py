@@ -19,6 +19,13 @@ seeds the memoization caches with the results, so a figure build that
 follows a parallel sweep
 reads exactly the data a serial run would have produced (every cell is a
 deterministic function of its settings).
+
+Memoization is layered: **in-process dict -> on-disk store -> compute**.
+The disk layer (:mod:`repro.harness.cache`, enabled via the CLI's
+``--cache {ro,rw}`` or :func:`repro.harness.cache.configure`) addresses
+each cell by the hash of its canonical spec plus a simulator-code
+fingerprint, so runs are shared across processes and CI jobs but never
+served stale.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, InstanceConfig
+from repro.harness import cache as result_cache
 from repro.harness import calibrate
 from repro.metrics.collector import RunMetrics, collect
 from repro.perfmodel.analytical import AnalyticalPerfModel
@@ -185,6 +193,26 @@ def _characterization_workload(phase: str, settings: CharacterizationSettings):
 _char_cache: dict[tuple, CharacterizationRun] = {}
 _oracle_peak_cache: dict[tuple, int] = {}
 
+#: Cluster/probe simulations actually executed by this process (disk and
+#: in-process cache hits do not count).  The CLI reports it so a cache-reuse
+#: smoke test can assert "second run: zero simulations".
+_sim_runs = 0
+
+
+def _count_simulation() -> None:
+    global _sim_runs
+    _sim_runs += 1
+
+
+def simulation_count() -> int:
+    """Simulations executed by this process (excludes worker processes)."""
+    return _sim_runs
+
+
+def reset_simulation_count() -> None:
+    global _sim_runs
+    _sim_runs = 0
+
 
 def run_characterization(
     phase: str,
@@ -204,8 +232,22 @@ def run_characterization(
         return _char_cache[key]
 
     oracle_key = (phase, settings)
+    disk_hit = _disk_lookup(CharCell(phase, policy, settings))
+    if disk_hit is not None:
+        _char_cache[key] = disk_hit
+        _oracle_peak_cache.setdefault(oracle_key, disk_hit.oracle_peak_tokens)
+        return disk_hit
+
     requests = _characterization_workload(phase, settings)
     full_capacity = oracle_capacity_tokens(requests)
+
+    if policy != "oracle" and oracle_key not in _oracle_peak_cache:
+        # The capped capacity derives from the oracle's peak; a cached
+        # oracle run supplies it without simulating anything.
+        oracle_hit = _disk_lookup(CharCell(phase, "oracle", settings))
+        if oracle_hit is not None:
+            _char_cache[(phase, "oracle", settings)] = oracle_hit
+            _oracle_peak_cache[oracle_key] = oracle_hit.oracle_peak_tokens
 
     # The oracle itself must always run uncapped: its peak KV usage
     # *defines* the constrained capacity the other policies get.  A warm
@@ -217,14 +259,17 @@ def run_characterization(
         instance = InstanceConfig(kv_capacity_tokens=full_capacity)
         config = ClusterConfig(n_instances=1, instance=instance)
         cluster = Cluster(config, policy="oracle")
+        _count_simulation()
         cluster.run_trace(oracle_requests)
         peak = cluster.instances[0].pool.peak_gpu_tokens()
         _oracle_peak_cache[oracle_key] = peak
-        _char_cache[(phase, "oracle", settings)] = CharacterizationRun(
+        oracle_run = CharacterizationRun(
             metrics=collect(cluster),
             oracle_peak_tokens=peak,
             capacity_tokens=full_capacity,
         )
+        _char_cache[(phase, "oracle", settings)] = oracle_run
+        _disk_store(CharCell(phase, "oracle", settings), oracle_run)
         if policy == "oracle":
             return _char_cache[key]
 
@@ -233,6 +278,7 @@ def run_characterization(
     instance = InstanceConfig(kv_capacity_tokens=capped)
     config = ClusterConfig(n_instances=1, instance=instance)
     cluster = Cluster(config, policy=policy)
+    _count_simulation()
     cluster.run_trace(requests)
     run = CharacterizationRun(
         metrics=collect(cluster),
@@ -240,6 +286,7 @@ def run_characterization(
         capacity_tokens=capped,
     )
     _char_cache[key] = run
+    _disk_store(CharCell(phase, policy, settings), run)
     return run
 
 
@@ -263,6 +310,16 @@ def measured_capacity_req_per_s(
     key = (dataset.name, settings.n_instances, settings.kv_capacity_tokens)
     if key in _capacity_cache:
         return _capacity_cache[key]
+    store = result_cache.active()
+    probe_spec = None
+    if store is not None:
+        from repro.harness.spec import capacity_spec
+
+        probe_spec = capacity_spec(dataset, settings, probe_requests)
+        cached = store.load(result_cache.spec_key(probe_spec), "capacity")
+        if isinstance(cached, float):
+            _capacity_cache[key] = cached
+            return cached
     # Size the probe so the backlog over-fills GPU memory: sustained
     # throughput must be measured at full batch depth, not at whatever
     # depth an arbitrary fixed request count happens to reach.
@@ -282,6 +339,10 @@ def measured_capacity_req_per_s(
             _probe_rate(dataset, settings, probe_requests, 1.4 * estimate),
         )
     _capacity_cache[key] = estimate
+    if store is not None and probe_spec is not None:
+        store.store(
+            result_cache.spec_key(probe_spec), "capacity", probe_spec, estimate
+        )
     return estimate
 
 
@@ -302,6 +363,7 @@ def _probe_rate(
     probe = sample_trace(dataset, probe_requests, arrivals, streams)
     mean_decode = sum(r.total_decode_tokens for r in probe) / len(probe)
     cluster = Cluster(settings.cluster_config(), policy="fcfs")
+    _count_simulation()
     cluster.submit(probe)
     samples: list[tuple[float, int]] = []
     while cluster.engine.step():
@@ -339,6 +401,11 @@ def run_evaluation(
     key = (dataset.name, rate_tier, policy, settings)
     if key in _eval_cache:
         return _eval_cache[key]
+    cell = EvalCell(dataset, rate_tier, policy, settings)
+    disk_hit = _disk_lookup(cell)
+    if disk_hit is not None:
+        _eval_cache[key] = disk_hit
+        return disk_hit
     rates = settings.rates_for(dataset)
     if rate_tier not in rates:
         raise KeyError(
@@ -353,6 +420,7 @@ def run_evaluation(
         )
     )
     cluster = Cluster(settings.cluster_config(), policy=policy)
+    _count_simulation()
     cluster.run_trace(trace)
     if not cluster.all_finished():
         raise RuntimeError(
@@ -362,6 +430,7 @@ def run_evaluation(
         )
     metrics = collect(cluster)
     _eval_cache[key] = metrics
+    _disk_store(cell, metrics)
     return metrics
 
 
@@ -410,10 +479,19 @@ def run_replay(
     key = _replay_key(trace, policy, settings)
     if key in _replay_cache:
         return _replay_cache[key]
+    cell = ReplayCell(trace, policy, settings)
+    # Snapshot the disk address now: it hashes the trace file's content,
+    # and the file may be rewritten while the simulation runs.
+    disk_ref = _disk_ref(cell)
+    disk_hit = _disk_lookup(cell, disk_ref)
+    if disk_hit is not None:
+        _replay_cache[key] = disk_hit
+        return disk_hit
     requests = build_replay_trace(trace)
     if not requests:
         raise TraceFormatError(trace.path, 1, "trace contains no requests")
     cluster = Cluster(settings.cluster_config(), policy=policy)
+    _count_simulation()
     cluster.run_trace(requests)
     if not cluster.all_finished():
         raise RuntimeError(
@@ -422,6 +500,7 @@ def run_replay(
         )
     metrics = collect(cluster)
     _replay_cache[key] = metrics
+    _disk_store(cell, metrics, disk_ref)
     return metrics
 
 
@@ -431,6 +510,29 @@ def clear_caches() -> None:
     _oracle_peak_cache.clear()
     _eval_cache.clear()
     _replay_cache.clear()
+
+
+def snapshot_caches() -> dict[str, dict]:
+    """Copy the in-process memoization (tests save/restore around clears,
+    so cache-isolation fixtures don't force later tests to resimulate)."""
+    return {
+        "char": dict(_char_cache),
+        "oracle_peak": dict(_oracle_peak_cache),
+        "eval": dict(_eval_cache),
+        "replay": dict(_replay_cache),
+        "capacity": dict(_capacity_cache),
+    }
+
+
+def restore_caches(snapshot: dict[str, dict]) -> None:
+    """Reinstall a :func:`snapshot_caches` copy (after a clear)."""
+    clear_caches()
+    _capacity_cache.clear()
+    _char_cache.update(snapshot["char"])
+    _oracle_peak_cache.update(snapshot["oracle_peak"])
+    _eval_cache.update(snapshot["eval"])
+    _replay_cache.update(snapshot["replay"])
+    _capacity_cache.update(snapshot["capacity"])
 
 
 # ---------------------------------------------------------------------------
@@ -465,6 +567,83 @@ class ReplayCell:
 
 
 Cell = EvalCell | CharCell | ReplayCell
+
+
+# ---------------------------------------------------------------------------
+# disk layer (see repro.harness.cache): in-process -> disk -> compute
+# ---------------------------------------------------------------------------
+def _disk_ref(cell: Cell) -> tuple[str, str, dict] | None:
+    """``(key, kind, spec)`` address snapshot for one cell, or None.
+
+    Like the in-process replay key, a replay cell's *disk* address must be
+    snapshotted before the simulation runs: it embeds the trace file's
+    content hash, and recomputing it after the run would file results from
+    the old content under a concurrently rewritten file's address —
+    poisoning the store for every future reader of the new content.
+    """
+    store = result_cache.active()
+    if store is None:
+        return None
+    from repro.harness import spec as _spec
+
+    try:
+        spec_dict = _spec.cell_spec(cell)
+    except OSError:
+        return None  # e.g. replay trace file missing; the run will report it
+    return (result_cache.spec_key(spec_dict), _spec.cell_kind(cell), spec_dict)
+
+
+def _disk_lookup(cell: Cell, ref: tuple | None = None):
+    """Decode a disk-cached result for ``cell``, or None on any miss.
+
+    A malformed payload (tampered entry, partial schema) decodes as a miss
+    so the cell is recomputed — the store never crashes a run.
+    """
+    store = result_cache.active()
+    if store is None:
+        return None
+    if ref is None:
+        ref = _disk_ref(cell)
+    if ref is None:
+        return None
+    key, kind, _ = ref
+    payload = store.load(key, kind)
+    if payload is None:
+        return None
+    try:
+        if isinstance(cell, CharCell):
+            return result_cache.char_run_from_payload(payload)
+        return result_cache.metrics_from_payload(payload)
+    except (KeyError, TypeError, ValueError, AttributeError):
+        store.stats.invalid += 1
+        return None
+
+
+def _disk_store(
+    cell: Cell, result, ref: tuple | None = None, if_missing: bool = False
+) -> None:
+    """Persist one computed cell (no-op when the cache is off or ``ro``).
+
+    ``ref`` is the cell's address snapshotted *before* the run (see
+    :func:`_disk_ref`); passing None recomputes it, which is only safe for
+    cells whose spec cannot change while the simulation runs.
+    """
+    store = result_cache.active()
+    if store is None or store.mode != "rw":
+        return
+    if ref is None:
+        ref = _disk_ref(cell)
+    if ref is None:
+        return
+    key, kind, spec_dict = ref
+    if isinstance(cell, CharCell):
+        payload = result_cache.char_run_to_payload(result)
+    else:
+        payload = result_cache.metrics_to_payload(result)
+    if if_missing:
+        store.store_if_missing(key, kind, spec_dict, payload)
+    else:
+        store.store(key, kind, spec_dict, payload)
 
 
 def run_cell(cell: Cell):
@@ -509,11 +688,18 @@ def _store_cell(cell: Cell, result, replay_key: tuple | None = None) -> None:
         )
 
 
-def _sweep_initializer(capacity_cache: dict, oracle_peak_cache: dict) -> None:
+def _sweep_initializer(
+    capacity_cache: dict,
+    oracle_peak_cache: dict,
+    cache_mode: str = "off",
+    cache_dir: str | None = None,
+) -> None:
     """Hand workers the shared probe results (spawn-safe; no-op cost for
-    fork, where the caches are inherited anyway)."""
+    fork, where the caches are inherited anyway) and the parent's disk
+    cache configuration, so workers persist their own results atomically."""
     _capacity_cache.update(capacity_cache)
     _oracle_peak_cache.update(oracle_peak_cache)
+    result_cache.configure(cache_mode, cache_dir)
 
 
 def _prewarm_shared_probes(cells: list[Cell]) -> None:
@@ -549,27 +735,59 @@ def sweep(
     if jobs is None:
         jobs = os.cpu_count() or 1
     pending = [cell for cell in unique if not _cell_cached(cell)]
+    if result_cache.active() is not None and pending:
+        # Resolve disk hits up front: they need no probe prewarm and no
+        # worker slot, and loading them here lets a fully cached sweep
+        # skip process fan-out entirely.
+        still_pending = []
+        for cell in pending:
+            hit = _disk_lookup(cell)
+            if hit is None:
+                still_pending.append(cell)
+            else:
+                _store_cell(cell, hit)
+        pending = still_pending
     if jobs <= 1 or len(pending) <= 1:
         return {cell: run_cell(cell) for cell in unique}
 
     _prewarm_shared_probes(pending)
     pending = [cell for cell in pending if not _cell_cached(cell)]
     if pending:
-        # Snapshot replay keys before dispatch: they embed the trace
-        # file's identity, which may change while the workers run.
+        # Snapshot replay keys (and disk addresses) before dispatch: both
+        # embed the trace file's identity/content, which may change while
+        # the workers run.
         replay_keys = {
             cell: _replay_key(cell.trace, cell.policy, cell.settings)
             for cell in pending
             if isinstance(cell, ReplayCell)
         }
+        store = result_cache.active()
+        disk_refs = (
+            {cell: _disk_ref(cell) for cell in pending}
+            if store is not None
+            else {}
+        )
         ctx = multiprocessing.get_context()
         with ctx.Pool(
             processes=min(jobs, len(pending)),
             initializer=_sweep_initializer,
-            initargs=(dict(_capacity_cache), dict(_oracle_peak_cache)),
+            initargs=(
+                dict(_capacity_cache),
+                dict(_oracle_peak_cache),
+                store.mode if store is not None else "off",
+                str(store.root) if store is not None else None,
+            ),
         ) as pool:
             for cell, result in zip(pending, pool.map(run_cell, pending)):
                 _store_cell(cell, result, replay_keys.get(cell))
+                # Workers persist their own results; this covers a worker
+                # that died between computing and writing.  A cell whose
+                # dispatch-time address could not be taken (ref None with
+                # an active store) is not re-addressed now — the file may
+                # have changed under us.
+                ref = disk_refs.get(cell)
+                if store is None or ref is not None:
+                    _disk_store(cell, result, ref, if_missing=True)
     return {cell: run_cell(cell) for cell in unique}
 
 

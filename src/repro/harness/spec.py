@@ -18,15 +18,113 @@ run.
 
 Specs are callable with the same ``(settings=None)`` convention as the
 original per-figure functions, plus an optional ``jobs`` fan-out degree.
+
+This module also owns the *canonical cell serialization*: every cell kind
+maps to a plain JSON-ready dict (:func:`cell_spec`) whose sorted-key hash
+(:func:`cell_key`, mixed with the simulator-code fingerprint) is the cell's
+address in the on-disk result store (:mod:`repro.harness.cache`).  The
+spec embeds the full settings dataclass and the full dataset model —
+including distribution parameters — so changing *any* knob yields a new
+key, and a recorded trace is addressed by its file *content*, not its
+path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.harness import cache
 from repro.harness.report import FigureResult
-from repro.harness.runner import Cell, sweep
+from repro.harness.runner import (
+    Cell,
+    CharCell,
+    EvalCell,
+    EvalSettings,
+    ReplayCell,
+    sweep,
+)
+from repro.workload.datasets import DatasetSpec, MixedDataset
+
+
+# ---------------------------------------------------------------------------
+# canonical cell serialization + hashing
+# ---------------------------------------------------------------------------
+def dataset_spec(dataset: DatasetSpec | MixedDataset) -> dict:
+    """The full length model of a dataset/mixture as a JSON-ready dict."""
+    return dataclasses.asdict(dataset)
+
+
+def cell_spec(cell: Cell) -> dict:
+    """Canonical JSON-ready description of one sweep cell.
+
+    The dict is the *complete* input of the cell's simulation: two cells
+    with equal specs produce byte-identical results, and any difference —
+    a settings knob, a dataset distribution parameter, the content of a
+    replayed trace file — yields a different spec.
+    """
+    if isinstance(cell, EvalCell):
+        return {
+            "kind": "eval",
+            "dataset": dataset_spec(cell.dataset),
+            "tier": cell.tier,
+            "policy": cell.policy,
+            "settings": dataclasses.asdict(cell.settings),
+        }
+    if isinstance(cell, CharCell):
+        return {
+            "kind": "char",
+            "phase": cell.phase,
+            "policy": cell.policy,
+            "settings": dataclasses.asdict(cell.settings),
+        }
+    if isinstance(cell, ReplayCell):
+        return {
+            "kind": "replay",
+            "trace": {
+                "sha256": cache.file_sha256(cell.trace.path),
+                "rate_scale": cell.trace.rate_scale,
+            },
+            "policy": cell.policy,
+            "settings": dataclasses.asdict(cell.settings),
+        }
+    raise TypeError(f"not a sweep cell: {cell!r}")
+
+
+def cell_kind(cell: Cell) -> str:
+    if isinstance(cell, EvalCell):
+        return "eval"
+    if isinstance(cell, CharCell):
+        return "char"
+    if isinstance(cell, ReplayCell):
+        return "replay"
+    raise TypeError(f"not a sweep cell: {cell!r}")
+
+
+def cell_key(cell: Cell) -> str:
+    """Content address of a cell under the current simulator code."""
+    return cache.spec_key(cell_spec(cell))
+
+
+def capacity_spec(
+    dataset: DatasetSpec | MixedDataset,
+    settings: EvalSettings,
+    probe_requests: int,
+) -> dict:
+    """Spec of one capacity probe (the shared prefix of evaluation runs).
+
+    The probe's result depends only on the dataset model and the cluster
+    shape, not on the trace-sizing knobs of :class:`EvalSettings` — so
+    quick- and paper-scale runs share probe entries.
+    """
+    return {
+        "kind": "capacity",
+        "dataset": dataset_spec(dataset),
+        "n_instances": settings.n_instances,
+        "kv_capacity_tokens": settings.kv_capacity_tokens,
+        "probe_requests": probe_requests,
+    }
 
 
 @dataclass(frozen=True)

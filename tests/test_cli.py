@@ -1,0 +1,161 @@
+"""CLI behaviors: usage errors exit 2 with one-line messages, cache and
+bench subcommands, target aliases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import cache
+from repro.harness.__main__ import _cacheable_experiments, main
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.runner import (
+    clear_caches,
+    reset_simulation_count,
+    restore_caches,
+    snapshot_caches,
+)
+from repro.workload.datasets import ALPACA_EVAL
+from repro.workload.trace import TraceConfig, build_trace, export_trace
+
+
+@pytest.fixture(autouse=True)
+def isolated(monkeypatch):
+    monkeypatch.delenv("PASCAL_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    saved = snapshot_caches()
+    clear_caches()
+    yield
+    cache.configure("off")
+    restore_caches(saved)
+    reset_simulation_count()
+
+
+@pytest.fixture
+def tiny_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    export_trace(
+        build_trace(
+            TraceConfig(
+                dataset=ALPACA_EVAL, n_requests=8, arrival_rate_per_s=3.0, seed=5
+            )
+        ),
+        path,
+    )
+    return str(path)
+
+
+class TestUsageErrors:
+    def test_trace_compare_unknown_policy_exits_2(self, tiny_trace, capsys):
+        # Regression (ISSUE 3): an unknown --policies name must be a
+        # one-line usage error on stderr with exit status 2, like every
+        # other target — not a bare registry traceback.
+        rc = main(
+            [
+                "trace-compare",
+                "--trace",
+                tiny_trace,
+                "--policies",
+                "pascal,nonexistent-policy",
+                "--jobs",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        err_lines = [l for l in captured.err.splitlines() if l.strip()]
+        assert len(err_lines) == 1
+        assert "unknown policy 'nonexistent-policy'" in err_lines[0]
+        assert err_lines[0].startswith("trace-compare:")
+
+    def test_unknown_experiment_mentions_new_targets(self, capsys):
+        rc = main(["no-such-experiment"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "figures" in err and "bench" in err and "cache" in err
+
+    def test_cache_without_action_exits_2(self, capsys, tmp_path):
+        rc = main(["cache", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "ls, prune, clear" in capsys.readouterr().err
+
+    def test_cache_unknown_action_exits_2(self, capsys, tmp_path):
+        rc = main(["cache", "evict", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "evict" in capsys.readouterr().err
+
+    def test_invalid_env_cache_mode_exits_2(self, capsys, monkeypatch):
+        # argparse `choices` only guards command-line values; an invalid
+        # $REPRO_CACHE default must still be a one-line usage error.
+        monkeypatch.setenv("REPRO_CACHE", "bogus")
+        rc = main(["fig2", "--jobs", "1"])
+        assert rc == 2
+        err_lines = [l for l in capsys.readouterr().err.splitlines() if l]
+        assert len(err_lines) == 1
+        assert "'bogus'" in err_lines[0]
+
+    def test_bench_with_unknown_target_validates_first(
+        self, capsys, tmp_path
+    ):
+        # The typo'd target must fail before the (slow) bench suite runs
+        # or writes its artifact.
+        out = tmp_path / "bench"
+        out.mkdir()
+        rc = main(["bench", "fig99", "--bench-out", str(out)])
+        assert rc == 2
+        assert "fig99" in capsys.readouterr().err
+        assert list(out.iterdir()) == []
+
+
+class TestCacheSubcommand:
+    def test_ls_prune_clear_on_empty_store(self, tmp_path, capsys):
+        d = str(tmp_path / "store")
+        assert main(["cache", "ls", "--cache-dir", d]) == 0
+        assert "0 entries" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", d]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", d]) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+
+class TestFiguresAlias:
+    def test_cacheable_set_is_exactly_the_cell_backed_specs(self):
+        assert _cacheable_experiments() == sorted(
+            name
+            for name, spec in ALL_EXPERIMENTS.items()
+            if spec.cells is not None
+        )
+        # Build-only figures (inline sims or pure synthesis) are excluded:
+        # the store cannot serve them end-to-end.
+        for excluded in ("fig2", "fig8", "fig14", "sec5a"):
+            assert excluded not in _cacheable_experiments()
+
+
+class TestBench:
+    def test_bench_writes_versioned_artifact(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        out.mkdir()
+        rc = main(
+            [
+                "bench",
+                "--bench-requests",
+                "24",
+                "--bench-repeats",
+                "1",
+                "--bench-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        (artifact,) = sorted(out.glob("BENCH_*.json"))
+        doc = json.loads(artifact.read_text())
+        assert doc["format"] == "pascal-bench"
+        assert doc["version"] == 1
+        names = {bench["name"] for bench in doc["benchmarks"]}
+        assert {"eventqueue.heapq", "eventqueue.bucket"} <= names
+        assert any(name.startswith("fig9.sim.") for name in names)
+        stdout = capsys.readouterr().out
+        assert "eventqueue.bucket" in stdout
+        assert str(artifact) in stdout

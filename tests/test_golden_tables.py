@@ -1,0 +1,80 @@
+"""Golden-table regression tests: every figure, byte-for-byte.
+
+A result cache that mis-invalidates corrupts science silently, and so does
+an accidental change to a figure builder; these tests pin the rendered
+quick-scale output of every :class:`ExperimentSpec` (plus the
+trace-compare table on the checked-in sample trace) against files under
+``tests/golden/``.  Any drift — an RNG change, a settings default, a
+formatting tweak, a cache serving stale data — fails loudly with a diff.
+
+Intentional changes are a one-line regen::
+
+    python -m pytest tests/test_golden_tables.py --update-golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.replay import trace_compare
+from repro.harness.runner import ReplaySettings
+from repro.workload.trace import ReplayTraceConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def golden(request, monkeypatch):
+    """Compare ``text`` against (or regenerate) one golden file."""
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, text: str) -> None:
+        path = GOLDEN_DIR / f"{name}.txt"
+        if update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            pytest.skip(f"updated {path.name}")
+        assert path.exists(), (
+            f"missing golden file {path}; generate it with "
+            f"`python -m pytest {__file__} --update-golden`"
+        )
+        expected = path.read_text(encoding="utf-8")
+        assert text == expected, (
+            f"{path.name} drifted from the checked-in golden table; if the "
+            f"change is intentional, regenerate with --update-golden"
+        )
+
+    return check
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_table_matches_golden(name, golden):
+    golden(name, ALL_EXPERIMENTS[name]().render() + "\n")
+
+
+def test_trace_compare_matches_golden(golden, monkeypatch):
+    # chdir so the table's path note is repo-relative (machine-independent).
+    monkeypatch.chdir(REPO_ROOT)
+    result = trace_compare(
+        ReplayTraceConfig(path="examples/sample_trace.jsonl"),
+        policies=("fcfs", "rr", "pascal"),
+        settings=ReplaySettings(),
+        jobs=1,
+    )
+    golden("trace-compare", result.render() + "\n")
+
+
+def test_every_golden_file_has_an_owner():
+    """No orphaned goldens: each file corresponds to a live experiment."""
+    if not GOLDEN_DIR.is_dir():
+        pytest.skip("goldens not generated yet")
+    owners = set(ALL_EXPERIMENTS) | {"trace-compare"}
+    stray = sorted(
+        p.name for p in GOLDEN_DIR.glob("*.txt") if p.stem not in owners
+    )
+    assert not stray, f"golden files without a generating experiment: {stray}"

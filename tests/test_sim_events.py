@@ -1,9 +1,11 @@
 """Event queue and simulation engine unit tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import BucketEventQueue, Event, EventKind, EventQueue
 
 
 class TestEventQueue:
@@ -59,6 +61,133 @@ class TestEventQueue:
         late = Event(2.0, 1, EventKind.CALLBACK, None)
         assert early < late
         assert not late < early
+
+
+QUEUE_IMPLS = [EventQueue, BucketEventQueue]
+
+
+@pytest.mark.parametrize("queue_cls", QUEUE_IMPLS)
+class TestQueueOrderingContract:
+    """The (time, seq) contract every queue implementation must honour.
+
+    FIFO among equal timestamps is load-bearing: a bucket-queue candidate
+    that silently reordered simultaneous events would change simulated
+    schedules while still 'sorting by time'.
+    """
+
+    def test_equal_timestamps_pop_fifo(self, queue_cls):
+        q = queue_cls()
+        for i in range(50):
+            q.push(5.0, EventKind.CALLBACK, i)
+        assert [q.pop().payload for _ in range(50)] == list(range(50))
+
+    def test_fifo_ties_survive_interleaved_pops(self, queue_cls):
+        q = queue_cls()
+        q.push(1.0, EventKind.CALLBACK, "a")
+        q.push(1.0, EventKind.CALLBACK, "b")
+        assert q.pop().payload == "a"
+        # Pushing after a pop lands *behind* the still-queued tie.
+        q.push(1.0, EventKind.CALLBACK, "c")
+        assert [q.pop().payload, q.pop().payload] == ["b", "c"]
+
+    def test_time_order_across_buckets(self, queue_cls):
+        q = queue_cls()
+        for t in (30.0, 0.01, 7.7, 0.02, 100.0):
+            q.push(t, EventKind.CALLBACK, t)
+        popped = [q.pop().payload for _ in range(5)]
+        assert popped == sorted(popped)
+
+    def test_negative_time_rejected(self, queue_cls):
+        with pytest.raises(ValueError):
+            queue_cls().push(-0.1, EventKind.CALLBACK)
+
+    def test_cancelled_events_skipped(self, queue_cls):
+        q = queue_cls()
+        keep = q.push(1.0, EventKind.CALLBACK, "keep")
+        drop = q.push(0.5, EventKind.CALLBACK, "drop")
+        drop.cancelled = True
+        assert q.pop() is keep
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self, queue_cls):
+        q = queue_cls()
+        drop = q.push(0.5, EventKind.CALLBACK)
+        q.push(2.0, EventKind.CALLBACK)
+        drop.cancelled = True
+        assert q.peek_time() == 2.0
+
+    def test_empty_queue(self, queue_cls):
+        q = queue_cls()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert len(q) == 0
+
+    def test_engine_runs_on_any_impl(self, queue_cls):
+        engine = SimulationEngine(queue=queue_cls())
+        seen = []
+        engine.register(EventKind.CALLBACK, lambda now, p: seen.append((now, p)))
+        for t, p in ((2.0, "late"), (0.5, "early"), (0.5, "early2")):
+            engine.schedule(t, EventKind.CALLBACK, p)
+        engine.run()
+        assert seen == [(0.5, "early"), (0.5, "early2"), (2.0, "late")]
+
+
+class TestBucketQueueEquivalence:
+    """Property test: the bucket queue is observationally identical to the
+    heap under arbitrary interleaved push/pop/cancel sequences."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    # Coarse grid forces heavy timestamp collisions (ties)
+                    # and bucket sharing.
+                    st.integers(min_value=0, max_value=40).map(
+                        lambda n: n * 0.025
+                    ),
+                ),
+                st.tuples(st.just("pop"), st.just(0.0)),
+                st.tuples(st.just("peek"), st.just(0.0)),
+                st.tuples(st.just("cancel-next"), st.just(0.0)),
+            ),
+            max_size=120,
+        )
+    )
+    def test_same_observable_behavior(self, ops):
+        heap, bucket = EventQueue(), BucketEventQueue()
+        pending_heap, pending_bucket = [], []
+        for index, (op, t) in enumerate(ops):
+            if op == "push":
+                pending_heap.append(heap.push(t, EventKind.CALLBACK, index))
+                pending_bucket.append(
+                    bucket.push(t, EventKind.CALLBACK, index)
+                )
+            elif op == "pop":
+                a, b = heap.pop(), bucket.pop()
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert (a.time, a.payload) == (b.time, b.payload)
+            elif op == "peek":
+                assert heap.peek_time() == bucket.peek_time()
+            else:  # cancel the oldest still-uncancelled handle on both
+                for ev_h, ev_b in zip(pending_heap, pending_bucket):
+                    if not ev_h.cancelled:
+                        ev_h.cancelled = True
+                        ev_b.cancelled = True
+                        break
+        # Drain: the leftovers must agree too.
+        while True:
+            a, b = heap.pop(), bucket.pop()
+            assert (a is None) == (b is None)
+            if a is None:
+                break
+            assert (a.time, a.payload) == (b.time, b.payload)
+
+    def test_bad_bucket_width_rejected(self):
+        with pytest.raises(ValueError):
+            BucketEventQueue(bucket_width_s=0.0)
 
 
 class TestSimulationEngine:
