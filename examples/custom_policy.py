@@ -39,7 +39,10 @@ class StickyHashPolicy(ClusterPolicy):
 
     name = "sticky-hash"
 
-    def make_intra_scheduler(self):
+    # The instance id lets a policy compose heterogeneous pools (see
+    # `tiered-express`); a homogeneous policy just ignores it.  The old
+    # zero-argument signature still runs, with a DeprecationWarning.
+    def make_intra_scheduler(self, iid):
         return RoundRobinScheduler(
             quantum_tokens=self.config.instance.scheduler.token_quantum
         )

@@ -40,6 +40,7 @@ from repro.config import (
     GPUConfig,
     InstanceConfig,
     ModelConfig,
+    PoolSpec,
     SchedulerConfig,
     SLOConfig,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "ModelConfig",
     "Phase",
     "POLICIES",
+    "PoolSpec",
     "ReplayTraceConfig",
     "ReqState",
     "Request",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.cluster.fabric import Fabric
 from repro.cluster.migration import MigrationManager
 from repro.config import ClusterConfig
-from repro.core.policy import ClusterPolicy
+from repro.core.policy import ClusterPolicy, build_intra_scheduler
 from repro.core.registry import create_policy, policy_names
 from repro.perfmodel.analytical import AnalyticalPerfModel, PerfModel
 from repro.schedulers.base import IntraScheduler
@@ -34,9 +34,11 @@ from repro.workload.request import Request
 POLICIES = policy_names()
 
 
-def make_intra_scheduler(policy: str, config: ClusterConfig) -> IntraScheduler:
-    """Intra-instance scheduler instance for a cluster policy name."""
-    return create_policy(policy, config).make_intra_scheduler()
+def make_intra_scheduler(
+    policy: str, config: ClusterConfig, iid: int = 0
+) -> IntraScheduler:
+    """Intra-instance scheduler a cluster policy gives instance ``iid``."""
+    return build_intra_scheduler(create_policy(policy, config), iid)
 
 
 class Cluster:
@@ -64,7 +66,7 @@ class Cluster:
                 config=config.instance,
                 perf=self.perf,
                 engine=self.engine,
-                scheduler=policy.make_intra_scheduler(),
+                scheduler=build_intra_scheduler(policy, i),
             )
             for i in range(config.n_instances)
         ]

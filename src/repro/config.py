@@ -133,10 +133,37 @@ class InstanceConfig:
 
 
 @dataclass(frozen=True)
+class PoolSpec:
+    """Heterogeneous instance-pool declaration (tiered serving).
+
+    Policies that support per-instance scheduler composition read this spec
+    from ``ClusterConfig.extensions.pool``: the lowest-``iid`` instances
+    form an FCFS "express" tier reserved for requests predicted to reason
+    briefly, the rest a "standard" tier running the policy's full
+    scheduler.  Single-tier policies ignore it.
+    """
+
+    #: Instances reserved for the express tier (clamped so the standard
+    #: tier keeps at least one instance; 0 disables tiering).
+    express_instances: int = 2
+    #: Route to the express tier when the predicted total reasoning length
+    #: is at or below this many tokens.  The default sits between the chat
+    #: dataset means (~560-970) and the problem-solving means (~750-2680),
+    #: so mixed workloads actually split.
+    express_threshold_tokens: int = 800
+
+    def express_count(self, n_instances: int) -> int:
+        """Express-tier size for a pool of ``n_instances``."""
+        if n_instances <= 1:
+            return 0
+        return max(0, min(self.express_instances, n_instances - 1))
+
+
+@dataclass(frozen=True)
 class ExtensionPolicyConfig:
     """Knobs for the extension policies (beyond the paper's comparison set).
 
-    ``slo-least-load`` and ``length-predictive`` live in
+    ``slo-least-load``, ``length-predictive`` and ``tiered-express`` live in
     :mod:`repro.core.extensions`; their tunables are centralized here so
     harness code and tests construct scenarios from plain dataclasses.
     """
@@ -148,6 +175,11 @@ class ExtensionPolicyConfig:
     #: ``slo-least-load``: also migrate at phase boundaries (False pins
     #: every request to its arrival instance, like the baselines).
     least_load_migration: bool = True
+    #: ``slo-least-load``: weight load by pending decode tokens (the
+    #: monitor's token-denominated signal) instead of live request count.
+    least_load_weighted: bool = False
+    #: Heterogeneous pool layout consumed by tier-aware policies.
+    pool: PoolSpec = field(default_factory=PoolSpec)
 
 
 @dataclass(frozen=True)

@@ -1,19 +1,33 @@
 """Extension policies built on the :class:`ClusterPolicy` seam.
 
-Two scenarios beyond the paper's comparison set, both motivated by related
+Three scenarios beyond the paper's comparison set, all motivated by related
 work on LLM serving schedulers:
 
 * ``slo-least-load`` — SLO-aware least-loaded placement in the spirit of
   *SLO-Aware Scheduling for Large Language Model Inferences*: route to the
-  SLO-clean instance running the fewest live requests (queue depth, not KV
-  bytes, as the load proxy) and re-balance answering requests the same way
-  at phase boundaries, subject to PASCAL's adaptive memory veto.
+  SLO-clean instance carrying the least load and re-balance answering
+  requests the same way at phase boundaries, subject to PASCAL's adaptive
+  memory veto.  The load signal is live request count by default, or —
+  with ``ExtensionPolicyConfig.least_load_weighted`` — the monitor's
+  *pending decode tokens*, which sees request-size heterogeneity that raw
+  queue depth ignores.
 * ``length-predictive`` — a length-aware PASCAL variant in the spirit of
   *CascadeInfer: Length-Aware Scheduling of LLM Serving*: an online
   per-dataset EWMA predicts each reasoning request's remaining tokens, and
   arrivals are routed by *predicted future* KV footprint instead of the
   current footprint ``m_i``.  The predictor learns only from observed phase
   transitions — it never peeks at a request's scripted lengths.
+* ``tiered-express`` — a heterogeneous pool (CascadeInfer-style length
+  tiering): :class:`repro.config.PoolSpec` reserves the lowest-iid
+  instances as an FCFS "express" tier, and arrivals whose predicted
+  reasoning length falls under the tier threshold are routed there, away
+  from the long chains of thought that inflate queueing tails.  The
+  remaining instances run PASCAL's hierarchical scheduler.
+
+Every predictor records its per-dataset absolute prediction error, surfaced
+through :meth:`~repro.core.policy.ClusterPolicy.predictor_errors` into
+:class:`~repro.metrics.collector.RunMetrics`, so predictor quality is a
+first-class output of every sweep.
 
 Tunables live in :class:`repro.config.ExtensionPolicyConfig`.
 """
@@ -22,10 +36,13 @@ from __future__ import annotations
 
 from repro.config import ExtensionPolicyConfig
 from repro.core.adaptive import AdaptiveMigrationPolicy
+from repro.core.pascal import PascalScheduler
+from repro.core.placement import least_kv_placement
 from repro.core.policies import PascalPolicy
 from repro.core.policy import ClusterPolicy
 from repro.core.registry import register_policy
 from repro.schedulers.base import IntraScheduler
+from repro.schedulers.fcfs import FCFSScheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
 from repro.serving.instance import ServingInstance
 from repro.workload.request import Request
@@ -37,6 +54,14 @@ class ReasoningLengthPredictor:
     ``observe`` feeds one completed reasoning phase; ``predict_total``
     returns the current estimate for a request's dataset, falling back to
     the global estimate (any dataset) and then to the configured prior.
+
+    Each observation also scores the *one-step-ahead (prequential)* error:
+    the current estimate immediately before the update, against the
+    observed length.  (Policies consult the predictor continuously, so
+    there is no single "routing-time" prediction per request to score;
+    predict-then-update is the standard online accuracy metric.)  Absolute
+    errors in tokens accumulate per dataset in :attr:`abs_errors`, feeding
+    the predictor-accuracy columns of the experiment tables.
     """
 
     def __init__(self, alpha: float = 0.25, prior_tokens: int = 600):
@@ -49,10 +74,16 @@ class ReasoningLengthPredictor:
         self._per_dataset: dict[str, float] = {}
         self._global: float | None = None
         self.n_observations = 0
+        #: Per-dataset |predicted - actual| reasoning lengths (tokens), in
+        #: observation order.
+        self.abs_errors: dict[str, list[float]] = {}
 
     def observe(self, req: Request, reasoning_tokens: int) -> None:
         """Record one observed reasoning length (at its phase transition)."""
         value = float(reasoning_tokens)
+        self.abs_errors.setdefault(req.dataset, []).append(
+            abs(self.predict_total(req) - value)
+        )
         current = self._per_dataset.get(req.dataset)
         self._per_dataset[req.dataset] = (
             value
@@ -65,6 +96,13 @@ class ReasoningLengthPredictor:
             else self._global + self.alpha * (value - self._global)
         )
         self.n_observations += 1
+
+    def error_report(self) -> dict[str, tuple[float, ...]]:
+        """The accumulated per-dataset absolute errors, frozen for metrics."""
+        return {
+            dataset: tuple(errors)
+            for dataset, errors in sorted(self.abs_errors.items())
+        }
 
     def predict_total(self, req: Request) -> float:
         """Estimated total reasoning tokens for a request like ``req``."""
@@ -84,13 +122,13 @@ class ReasoningLengthPredictor:
 
 @register_policy
 class SLOAwareLeastLoadPolicy(ClusterPolicy):
-    """SLO-aware least-load: route to the SLO-clean instance with the
-    fewest live requests; re-balance at phase boundaries under the
-    adaptive memory veto."""
+    """SLO-aware least-load: route to the SLO-clean instance carrying the
+    least load (live requests, or pending decode tokens when weighted);
+    re-balance at phase boundaries under the adaptive memory veto."""
 
     name = "slo-least-load"
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         return RoundRobinScheduler(
             quantum_tokens=self.config.instance.scheduler.token_quantum
         )
@@ -102,6 +140,14 @@ class SLOAwareLeastLoadPolicy(ClusterPolicy):
         )
 
     def _load_key(self, inst: ServingInstance) -> tuple:
+        if self.knobs.least_load_weighted:
+            # Token-denominated load: one 8k-token chain of thought weighs
+            # as much as dozens of short chats, which raw depth misses.
+            return (
+                self.monitor.pending_decode_tokens(inst),
+                inst.total_kv_tokens(),
+                inst.iid,
+            )
         return (len(inst.live_requests()), inst.total_kv_tokens(), inst.iid)
 
     def select(self, now: float) -> ServingInstance:
@@ -159,3 +205,69 @@ class LengthPredictivePolicy(PascalPolicy):
         # reasoning length becomes observable without an oracle.
         self.predictor.observe(req, req.generated_tokens)
         super().on_phase_transition(req, src, now)
+
+    def predictor_errors(self) -> dict[str, tuple[float, ...]]:
+        return self.predictor.error_report()
+
+
+@register_policy
+class TieredExpressPolicy(ClusterPolicy):
+    """Heterogeneous pool: FCFS "express" instances serve predicted-short
+    requests, PASCAL instances serve the rest (length-aware tiering in the
+    spirit of CascadeInfer)."""
+
+    name = "tiered-express"
+
+    def _express_count(self) -> int:
+        return self.config.extensions.pool.express_count(
+            self.config.n_instances
+        )
+
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
+        # Called before bind (schedulers are part of instance
+        # construction), so tier membership derives from config + iid only.
+        if iid < self._express_count():
+            return FCFSScheduler()
+        sched_cfg = self.config.instance.scheduler
+        return PascalScheduler(
+            quantum_tokens=sched_cfg.token_quantum,
+            demotion_threshold_tokens=sched_cfg.demotion_threshold_tokens,
+        )
+
+    def on_bind(self, cluster) -> None:
+        knobs: ExtensionPolicyConfig = self.config.extensions
+        n_express = self._express_count()
+        self.express_pool = cluster.instances[:n_express]
+        self.standard_pool = cluster.instances[n_express:]
+        self.threshold_tokens = knobs.pool.express_threshold_tokens
+        self.predictor = ReasoningLengthPredictor(
+            alpha=knobs.predictor_alpha,
+            prior_tokens=knobs.predictor_prior_tokens,
+        )
+
+    def place_arrival(self, req: Request, now: float) -> ServingInstance:
+        predicted = self.predictor.predict_total(req)
+        if self.express_pool and predicted <= self.threshold_tokens:
+            pool = self.express_pool
+        else:
+            pool = self.standard_pool
+        clean = [
+            inst for inst in pool if self.monitor.answering_slo_ok(inst, now)
+        ]
+        if not clean:
+            # The chosen tier is saturated: spill across the whole pool
+            # rather than dogpiling a violating tier.
+            clean = self.slo_clean_instances(now)
+        return least_kv_placement(clean, req, now)
+
+    def on_phase_transition(
+        self, req: Request, src: ServingInstance, now: float
+    ) -> None:
+        self.predictor.observe(req, req.generated_tokens)
+        # The base default keeps the request where it reasoned: express
+        # requests are short on both phases, and the standard tier's
+        # hierarchical scheduler already prioritizes answering locally.
+        super().on_phase_transition(req, src, now)
+
+    def predictor_errors(self) -> dict[str, tuple[float, ...]]:
+        return self.predictor.error_report()

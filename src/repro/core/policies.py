@@ -44,7 +44,7 @@ class FCFSPolicy(ClusterPolicy):
 
     name = "fcfs"
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         return FCFSScheduler()
 
     def place_arrival(self, req: Request, now: float) -> ServingInstance:
@@ -57,7 +57,7 @@ class RoundRobinPolicy(FCFSPolicy):
 
     name = "rr"
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         return RoundRobinScheduler(
             quantum_tokens=self.config.instance.scheduler.token_quantum
         )
@@ -69,7 +69,7 @@ class OraclePolicy(FCFSPolicy):
 
     name = "oracle"
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         return OracleScheduler()
 
 
@@ -86,7 +86,7 @@ class PascalPolicy(ClusterPolicy):
     #: Use Algorithm 2's ``r_i + a_i`` fallback (Section IV-B ablation).
     use_fresh_fallback = True
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         sched_cfg = self.config.instance.scheduler
         return PascalScheduler(
             quantum_tokens=sched_cfg.token_quantum,
@@ -151,7 +151,7 @@ class PhasePartitionedPolicy(ClusterPolicy):
 
     name = "phase-partitioned"
 
-    def make_intra_scheduler(self) -> IntraScheduler:
+    def make_intra_scheduler(self, iid: int) -> IntraScheduler:
         return RoundRobinScheduler(
             quantum_tokens=self.config.instance.scheduler.token_quantum
         )

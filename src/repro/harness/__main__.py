@@ -15,6 +15,7 @@ Usage::
     python -m repro.harness all --scale both --cache rw   # quick + paper
     python -m repro.harness cache ls             # inspect the store
     python -m repro.harness cache prune          # drop stale/old entries
+    python -m repro.harness cache prune --max-bytes 100000000  # size budget
     python -m repro.harness cache clear
 
     # the perf-trajectory microbenchmarks (BENCH_<date>.json artifact)
@@ -26,6 +27,8 @@ Usage::
     python -m repro.harness trace-compare --trace trace.jsonl --jobs 8
     python -m repro.harness trace-compare --trace trace.jsonl \\
         --rate-scale 2.0 --policies pascal,fcfs,rr
+    python -m repro.harness trace-compare --trace trace.jsonl \\
+        --pool 2:800 --policies tiered-express,pascal  # heterogeneous pool
 
 ``--jobs`` parallelizes at the simulation-cell level (one dataset x tier x
 policy run, or one replayed trace x policy, per task): the requested cells
@@ -49,6 +52,7 @@ import argparse
 import os
 import sys
 
+from repro.config import ExtensionPolicyConfig, PoolSpec
 from repro.core.registry import get_policy_class, policy_table
 from repro.harness import cache as result_cache
 from repro.harness import runner
@@ -129,6 +133,14 @@ def _parser() -> argparse.ArgumentParser:
         help="`cache prune`: also drop entries older than D days "
         "(default: 30)",
     )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="`cache prune`: then evict least-recently-read entries "
+        "(oldest atime first) until the store is at most N bytes",
+    )
     bench = parser.add_argument_group("microbenchmarks (bench)")
     bench.add_argument(
         "--bench-out",
@@ -170,6 +182,15 @@ def _parser() -> argparse.ArgumentParser:
         metavar="CSV",
         help="comma-separated policy subset (default: all registered "
         "except oracle, which is misleading at replay capacity)",
+    )
+    replay.add_argument(
+        "--pool",
+        metavar="EXPRESS[:THRESHOLD]",
+        default=None,
+        help="heterogeneous pool for the replay cluster: EXPRESS express "
+        "(FCFS fast-lane) instances, optionally a predicted-reasoning "
+        "routing threshold in tokens (consumed by tier-aware policies "
+        "such as tiered-express)",
     )
     record = parser.add_argument_group("trace recording (record-trace)")
     record.add_argument(
@@ -269,6 +290,27 @@ def _run_record_trace(args) -> int:
     return 0
 
 
+def _parse_pool(text: str) -> PoolSpec:
+    """``EXPRESS[:THRESHOLD]`` -> :class:`PoolSpec` (ValueError on junk)."""
+    express_text, sep, threshold_text = text.partition(":")
+    try:
+        express = int(express_text)
+        threshold = (
+            int(threshold_text)
+            if sep
+            else PoolSpec().express_threshold_tokens
+        )
+    except ValueError:
+        raise ValueError(
+            f"--pool expects EXPRESS[:THRESHOLD] integers, got {text!r}"
+        ) from None
+    if express < 0 or threshold < 0:
+        raise ValueError(f"--pool values must be >= 0, got {text!r}")
+    return PoolSpec(
+        express_instances=express, express_threshold_tokens=threshold
+    )
+
+
 def _run_trace_compare(args) -> int:
     if not args.trace:
         print(
@@ -282,13 +324,18 @@ def _run_trace_compare(args) -> int:
             name.strip() for name in args.policies.split(",") if name.strip()
         )
     # Bad input is a usage error, not a crash: validate the cheap pieces
-    # (rate scale, policy names) up front, and around the run itself catch
-    # only file problems — an unexpected ValueError from deep inside the
-    # simulation is a bug and must keep its traceback.
+    # (rate scale, policy names, pool spec) up front, and around the run
+    # itself catch only file problems — an unexpected ValueError from deep
+    # inside the simulation is a bug and must keep its traceback.
     try:
         trace = ReplayTraceConfig(path=args.trace, rate_scale=args.rate_scale)
         for policy in policies or ():
             get_policy_class(policy)
+        settings = ReplaySettings()
+        if args.pool is not None:
+            settings = ReplaySettings(
+                extensions=ExtensionPolicyConfig(pool=_parse_pool(args.pool))
+            )
     except ValueError as exc:
         print(f"trace-compare: {exc}", file=sys.stderr)
         return 2
@@ -296,7 +343,7 @@ def _run_trace_compare(args) -> int:
         result = trace_compare(
             trace,
             policies=policies,
-            settings=ReplaySettings(),
+            settings=settings,
             jobs=args.jobs,
         )
     except (TraceFormatError, OSError) as exc:
@@ -340,8 +387,22 @@ def _run_cache_command(args, actions: list[str]) -> int:
         )
         return 0
     if action == "prune":
-        removed = store.prune(max_age_days=args.max_age_days)
-        print(f"pruned {removed} stale/old entries from {store.root}")
+        try:
+            removed = store.prune(
+                max_age_days=args.max_age_days, max_bytes=args.max_bytes
+            )
+        except ValueError as exc:
+            print(f"cache prune: {exc}", file=sys.stderr)
+            return 2
+        budget = (
+            f" (budget {args.max_bytes:,d} bytes)"
+            if args.max_bytes is not None
+            else ""
+        )
+        print(
+            f"pruned {removed} stale/old/evicted entries from "
+            f"{store.root}{budget}"
+        )
         return 0
     removed = store.clear()
     print(f"cleared {removed} entries from {store.root}")

@@ -236,16 +236,27 @@ def metrics_to_payload(metrics: RunMetrics) -> dict:
         "policy": metrics.policy,
         "throughput_tokens_per_s": metrics.throughput_tokens_per_s,
         "transfer_latencies_s": metrics.transfer_latencies_s,
+        "predictor_abs_errors": {
+            dataset: list(errors)
+            for dataset, errors in metrics.predictor_abs_errors.items()
+        },
         "requests": [request_to_record(r) for r in metrics.requests],
     }
 
 
 def metrics_from_payload(payload: dict) -> RunMetrics:
+    # `predictor_abs_errors` is read strictly: a codec (or cache entry)
+    # that drops it must surface as a decode failure, not as silently
+    # empty predictor columns in a figure.
     return RunMetrics(
         policy=payload["policy"],
         requests=[request_from_record(r) for r in payload["requests"]],
         throughput_tokens_per_s=payload["throughput_tokens_per_s"],
         transfer_latencies_s=list(payload["transfer_latencies_s"]),
+        predictor_abs_errors={
+            dataset: tuple(errors)
+            for dataset, errors in payload["predictor_abs_errors"].items()
+        },
     )
 
 
@@ -468,8 +479,23 @@ class DiskCache:
         self._drop_empty_shards()
         return removed
 
-    def prune(self, max_age_days: float | None = None) -> int:
-        """Drop stale-fingerprint, corrupt, and (optionally) old entries."""
+    def prune(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+    ) -> int:
+        """Drop stale-fingerprint, corrupt, and (optionally) old entries;
+        then, with ``max_bytes``, evict least-recently-read entries
+        (oldest atime first) until the store fits the byte budget.
+
+        Only cache entry files (``??/*.json.gz`` under the store root) are
+        ever deleted — anything else living in the directory is not ours
+        to touch.
+        """
+        # Validate everything before the first unlink: a rejected call
+        # must not have half-mutated the store.
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         cutoff = None
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0
@@ -481,6 +507,29 @@ class DiskCache:
             if stale or old:
                 info.path.unlink()
                 removed += 1
+        if max_bytes is not None:
+            # The store is shared across processes: any entry can vanish
+            # between the glob and our stat/unlink (a concurrent prune or
+            # clear).  An already-gone entry is simply not ours to count.
+            survivors = []
+            total = 0
+            for path in self._entry_files():
+                try:
+                    stat = path.stat()
+                except FileNotFoundError:
+                    continue
+                survivors.append((stat.st_atime, path, stat.st_size))
+                total += stat.st_size
+            survivors.sort()
+            for _, path, size in survivors:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+                total -= size
         self._drop_empty_shards()
         return removed
 

@@ -70,6 +70,8 @@ TITLES: dict[str, str] = {
     "fig13": "PASCAL vs PASCAL(NoMigration), AlpacaEval high rate",
     "fig15": "PASCAL vs PASCAL(NonAdaptive), AlpacaEval",
     "fig16": "Mixed 50% Arena-Hard + 50% reasoning-heavy, high rate",
+    "fig16x": "Mixed workload, heterogeneous pools + token-weighted load "
+    "vs extension baselines, high rate",
     "sec5a": "Simulator validation: profile-table vs reference model (MAPE %)",
     "ablation-alg2": "Algorithm 2 fallback: r_i + a_i vs r_i alone, AlpacaEval",
     "ablation-partition": "Explicit phase partitioning vs PASCAL, AlpacaEval high rate",
@@ -728,6 +730,93 @@ def fig16_mixed_workload(settings: EvalSettings | None = None) -> FigureResult:
 
 
 # ---------------------------------------------------------------------------
+# Figure 16 extension — heterogeneous pools and token-weighted load
+# ---------------------------------------------------------------------------
+def _weighted_settings(settings: EvalSettings) -> EvalSettings:
+    """The same cell with ``slo-least-load`` flipped to token-weighted."""
+    return dataclasses.replace(
+        settings,
+        extensions=dataclasses.replace(
+            settings.extensions, least_load_weighted=True
+        ),
+    )
+
+
+#: (row label, policy name, uses the weighted settings) for fig16x.
+_FIG16X_ROWS = (
+    ("pascal", "pascal", False),
+    ("slo-least-load", "slo-least-load", False),
+    ("slo-least-load[w]", "slo-least-load", True),
+    ("length-predictive", "length-predictive", False),
+    ("tiered-express", "tiered-express", False),
+)
+
+
+def fig16x_extension_mixed(settings: EvalSettings | None = None) -> FigureResult:
+    """The ROADMAP's extension comparison on the Figure 16 mixed workload:
+    ``tiered-express`` (heterogeneous FCFS/PASCAL pool) and token-weighted
+    ``slo-least-load`` against their single-tier / unweighted forms, with
+    the online predictors' accuracy reported alongside."""
+    settings = settings or EvalSettings.for_scale()
+    weighted = _weighted_settings(settings)
+    mix = reasoning_heavy_mix()
+    slo = settings.cluster_config().slo
+    rows = []
+    notes = [
+        "slo-least-load[w]: load = pending decode tokens (monitor signal) "
+        "instead of live request count",
+        "tiered-express: "
+        f"{settings.extensions.pool.express_count(settings.n_instances)} "
+        "FCFS express instances, threshold "
+        f"{settings.extensions.pool.express_threshold_tokens} predicted "
+        "reasoning tokens",
+        "pred_err: |predicted - actual| reasoning length in tokens, "
+        "learned online (no oracle lengths)",
+    ]
+    for label, policy, use_weighted in _FIG16X_ROWS:
+        metrics = run_evaluation(
+            mix, "high", policy, weighted if use_weighted else settings
+        )
+        ttfts = metrics.ttfts()
+        report = metrics.slo_report(slo)
+        rows.append(
+            [
+                label,
+                mean(ttfts),
+                percentile(ttfts, 99),
+                report.mean_qoe,
+                100.0 * report.violation_rate,
+                metrics.throughput_tokens_per_s,
+                metrics.predictor_error_mean(),
+                metrics.predictor_error_percentile(90),
+            ]
+        )
+        per_dataset = metrics.predictor_error_rows()
+        if per_dataset:
+            detail = ", ".join(
+                f"{dataset}: n={n} mean={err_mean:.0f} p90={err_p90:.0f}"
+                for dataset, n, err_mean, err_p90 in per_dataset
+            )
+            notes.append(f"{label} per-dataset pred_err ({detail})")
+    return FigureResult(
+        figure_id="fig16x",
+        title=TITLES["fig16x"],
+        headers=[
+            "policy",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "mean_qoe",
+            "slo_violation_%",
+            "throughput",
+            "pred_err_mean",
+            "pred_err_p90",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Section V-A — simulator validation (profile table vs analytical source)
 # ---------------------------------------------------------------------------
 def sec5a_validation(n_requests: int = 80, seed: int = 3) -> FigureResult:
@@ -967,6 +1056,21 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
             build=fig16_mixed_workload,
             cells=lambda s: _eval_cells(
                 (reasoning_heavy_mix(),), ("high",), EVAL_POLICIES, s
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="fig16x",
+            title=TITLES["fig16x"],
+            build=fig16x_extension_mixed,
+            cells=lambda s: tuple(
+                EvalCell(
+                    reasoning_heavy_mix(),
+                    "high",
+                    policy,
+                    _weighted_settings(s) if use_weighted else s,
+                )
+                for _, policy, use_weighted in _FIG16X_ROWS
             ),
             settings_factory=EvalSettings.for_scale,
         ),

@@ -86,3 +86,24 @@ class FigureResult:
         """Rows keyed by their first (or a named) column."""
         key_idx = 0 if key_column is None else self.headers.index(key_column)
         return {row[key_idx]: row for row in self.rows}
+
+    def cell(self, row_key, column: str, key_column: str = None):
+        """One value: the row keyed ``row_key``, at the named column.
+
+        The assertion-friendly accessor the comparison tests use: raises
+        ``KeyError`` on an unknown row or column rather than misreading a
+        neighbour.
+        """
+        try:
+            row = self.row_map(key_column)[row_key]
+        except KeyError:
+            raise KeyError(
+                f"no row keyed {row_key!r} in figure {self.figure_id}"
+            ) from None
+        try:
+            idx = self.headers.index(column)
+        except ValueError:
+            raise KeyError(
+                f"no column {column!r}; available: {self.headers}"
+            ) from None
+        return row[idx]

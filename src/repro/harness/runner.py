@@ -35,7 +35,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, InstanceConfig
+from repro.config import ClusterConfig, ExtensionPolicyConfig, InstanceConfig
 from repro.harness import cache as result_cache
 from repro.harness import calibrate
 from repro.metrics.collector import RunMetrics, collect
@@ -83,6 +83,12 @@ class EvalSettings:
         ("medium", 0.8),
         ("high", 1.1),
     )
+    #: Extension-policy knobs (weighted load, heterogeneous pool layout)
+    #: threaded into the cluster config.  Part of the cell spec: changing
+    #: any knob re-addresses every cell run under these settings.
+    extensions: ExtensionPolicyConfig = field(
+        default_factory=ExtensionPolicyConfig
+    )
 
     @classmethod
     def for_scale(cls, scale: str | None = None) -> "EvalSettings":
@@ -93,7 +99,11 @@ class EvalSettings:
 
     def cluster_config(self) -> ClusterConfig:
         instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
-        return ClusterConfig(n_instances=self.n_instances, instance=instance)
+        return ClusterConfig(
+            n_instances=self.n_instances,
+            instance=instance,
+            extensions=self.extensions,
+        )
 
     def resident_request_capacity(
         self, dataset: DatasetSpec | MixedDataset
@@ -440,10 +450,18 @@ class ReplaySettings:
 
     n_instances: int = 8
     kv_capacity_tokens: int = 60000
+    #: Extension-policy knobs (the CLI's ``--pool`` lands here).
+    extensions: ExtensionPolicyConfig = field(
+        default_factory=ExtensionPolicyConfig
+    )
 
     def cluster_config(self) -> ClusterConfig:
         instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
-        return ClusterConfig(n_instances=self.n_instances, instance=instance)
+        return ClusterConfig(
+            n_instances=self.n_instances,
+            instance=instance,
+            extensions=self.extensions,
+        )
 
 
 _replay_cache: dict[tuple, RunMetrics] = {}

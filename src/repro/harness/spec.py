@@ -116,7 +116,10 @@ def capacity_spec(
 
     The probe's result depends only on the dataset model and the cluster
     shape, not on the trace-sizing knobs of :class:`EvalSettings` — so
-    quick- and paper-scale runs share probe entries.
+    quick- and paper-scale runs share probe entries.  Extension knobs
+    (``EvalSettings.extensions``: weighted load, pool layout) are likewise
+    excluded: the probe always runs FCFS, which reads none of them, so
+    cells differing only in extension knobs share one calibration.
     """
     return {
         "kind": "capacity",

@@ -20,6 +20,12 @@ class RunMetrics:
     requests: list[Request]
     throughput_tokens_per_s: float = 0.0
     transfer_latencies_s: list[float] = field(default_factory=list)
+    #: Per-dataset absolute reasoning-length prediction errors (tokens),
+    #: reported by predictor-driven policies (``length-predictive``,
+    #: ``tiered-express``); empty for everything else.
+    predictor_abs_errors: dict[str, tuple[float, ...]] = field(
+        default_factory=dict
+    )
 
     # ------------------------------------------------------------------
     # latency views
@@ -103,6 +109,41 @@ class RunMetrics:
             return None
         return percentile(self.transfer_latencies_s, 99.0)
 
+    # ------------------------------------------------------------------
+    # predictor-accuracy views
+    # ------------------------------------------------------------------
+    def _predictor_errors(self, dataset: str | None) -> list[float]:
+        if dataset is not None:
+            return list(self.predictor_abs_errors.get(dataset, ()))
+        return [
+            err
+            for errors in self.predictor_abs_errors.values()
+            for err in errors
+        ]
+
+    def predictor_error_mean(self, dataset: str | None = None) -> float | None:
+        """Mean absolute reasoning-length prediction error (tokens)."""
+        errors = self._predictor_errors(dataset)
+        return mean(errors) if errors else None
+
+    def predictor_error_percentile(
+        self, pct: float, dataset: str | None = None
+    ) -> float | None:
+        """Percentile of the absolute prediction error (tokens)."""
+        errors = self._predictor_errors(dataset)
+        return percentile(errors, pct) if errors else None
+
+    def predictor_error_rows(
+        self, pct: float = 90.0
+    ) -> list[tuple[str, int, float, float]]:
+        """``(dataset, n, mean_abs_err, p<pct>_abs_err)`` per dataset."""
+        return [
+            (dataset, len(errors), mean(list(errors)),
+             percentile(list(errors), pct))
+            for dataset, errors in sorted(self.predictor_abs_errors.items())
+            if errors
+        ]
+
 
 def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
     """Snapshot a finished cluster run into a :class:`RunMetrics`."""
@@ -112,4 +153,5 @@ def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
         requests=list(reqs),
         throughput_tokens_per_s=cluster.throughput_tokens_per_s(),
         transfer_latencies_s=cluster.migrations.transfer_latencies(),
+        predictor_abs_errors=cluster.policy.predictor_errors(),
     )

@@ -59,6 +59,20 @@ class InstanceMonitor:
         """``m_i``: total memory occupied by KV cache (GPU + CPU)."""
         return inst.total_kv_tokens()
 
+    def pending_decode_tokens(self, inst: ServingInstance) -> int:
+        """Token-weighted load: decode tokens still owed to live requests.
+
+        Queue depth counts a 60-token chat and an 8k-token chain of
+        thought as equal load; this signal weighs each request by its
+        outstanding decode work instead.  In the simulator the scripted
+        remaining lengths are read directly (an idealized signal); a real
+        deployment would substitute a length predictor, as
+        ``length-predictive`` does for placement.
+        """
+        return sum(
+            r.remaining_tokens for r in inst.requests if not r.finished
+        )
+
     def reasoning_count(self, inst: ServingInstance) -> int:
         """``r_i``: requests currently in the high-priority queue."""
         return sum(

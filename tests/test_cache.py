@@ -390,3 +390,78 @@ class TestSweepParity:
         }
         assert cached == serial
         assert simulation_count() == 0
+
+
+class TestSizePrune:
+    """``cache prune --max-bytes``: oldest-atime-first size eviction."""
+
+    def seed_entries(self, store, n=4):
+        import os
+
+        keys = []
+        for i in range(n):
+            key = f"{i:02d}" + "a" * 38
+            assert store.store(
+                key, "eval", {"kind": "eval", "i": i}, {"payload": "x" * 400}
+            )
+            keys.append(key)
+        # Distinct, increasing atimes: key 00 is the least recently read.
+        for i, key in enumerate(keys):
+            path = store.entry_path(key)
+            os.utime(path, (1_000_000 + i * 1000, path.stat().st_mtime))
+        return keys
+
+    def test_prunes_oldest_atime_first_down_to_budget(self, store):
+        keys = self.seed_entries(store)
+        sizes = {k: store.entry_path(k).stat().st_size for k in keys}
+        total = sum(sizes.values())
+        # Budget for exactly the three most recently read entries.
+        budget = total - sizes[keys[0]]
+        removed = store.prune(max_bytes=budget)
+        assert removed == 1
+        assert not store.entry_path(keys[0]).exists()
+        assert all(store.entry_path(k).exists() for k in keys[1:])
+        remaining = sum(p.stat().st_size for p in entry_files(store))
+        assert remaining <= budget
+
+    def test_zero_budget_empties_the_store(self, store):
+        self.seed_entries(store)
+        assert store.prune(max_bytes=0) == 4
+        assert entry_files(store) == []
+
+    def test_budget_above_total_removes_nothing(self, store):
+        keys = self.seed_entries(store)
+        total = sum(store.entry_path(k).stat().st_size for k in keys)
+        assert store.prune(max_bytes=total) == 0
+        assert len(entry_files(store)) == 4
+
+    def test_never_deletes_non_cache_files(self, store):
+        keys = self.seed_entries(store)
+        # Foreign files in the store root and inside a shard directory.
+        stray_root = store.root / "NOTES.txt"
+        stray_root.write_text("hands off")
+        shard = store.entry_path(keys[0]).parent
+        stray_shard = shard / "README"
+        stray_shard.write_text("also not an entry")
+        assert store.prune(max_bytes=0) == len(keys)
+        assert stray_root.read_text() == "hands off"
+        assert stray_shard.read_text() == "also not an entry"
+        # The shard holding a stray file survives _drop_empty_shards.
+        assert shard.is_dir()
+
+    def test_negative_budget_rejected_before_any_deletion(self, store, monkeypatch):
+        self.seed_entries(store)
+        # Even with every entry stale (prunable), a rejected call must
+        # leave the store untouched — validation precedes the first unlink.
+        monkeypatch.setattr(cache, "_fingerprint", "f" * 16)
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.prune(max_bytes=-1)
+        assert len(entry_files(store)) == 4
+
+    def test_stale_entries_removed_before_size_accounting(self, store, monkeypatch):
+        self.seed_entries(store)
+        total = sum(p.stat().st_size for p in entry_files(store))
+        monkeypatch.setattr(cache, "_fingerprint", "f" * 16)
+        # All four are stale; the budget would have kept them all.
+        assert store.prune(max_bytes=total) == 4
+        assert entry_files(store) == []

@@ -159,3 +159,81 @@ class TestBench:
         stdout = capsys.readouterr().out
         assert "eventqueue.bucket" in stdout
         assert str(artifact) in stdout
+
+
+class TestPoolKnob:
+    def test_parse_pool_forms(self):
+        from repro.config import PoolSpec
+        from repro.harness.__main__ import _parse_pool
+
+        assert _parse_pool("2") == PoolSpec(
+            express_instances=2,
+            express_threshold_tokens=PoolSpec().express_threshold_tokens,
+        )
+        assert _parse_pool("3:500") == PoolSpec(
+            express_instances=3, express_threshold_tokens=500
+        )
+        for junk in ("", "x", "2:", "2:x", "-1", "2:-5"):
+            with pytest.raises(ValueError):
+                _parse_pool(junk)
+
+    def test_trace_compare_bad_pool_exits_2(self, tiny_trace, capsys):
+        rc = main(
+            ["trace-compare", "--trace", tiny_trace, "--pool", "bogus"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--pool" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_trace_compare_with_pool_runs_tiered_policy(
+        self, tiny_trace, capsys
+    ):
+        rc = main(
+            [
+                "trace-compare",
+                "--trace",
+                tiny_trace,
+                "--pool",
+                "2:400",
+                "--policies",
+                "tiered-express",
+                "--jobs",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "tiered-express" in captured.out
+
+
+class TestMaxBytesPrune:
+    def test_prune_with_budget_reports_it(self, tmp_path, capsys):
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--max-bytes",
+                "1000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "budget 1,000 bytes" in captured.out
+
+    def test_prune_negative_budget_exits_2(self, tmp_path, capsys):
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--cache-dir",
+                str(tmp_path / "store"),
+                "--max-bytes",
+                "-3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "max_bytes" in captured.err

@@ -1,0 +1,78 @@
+"""Parallel sweep parity for heterogeneous pools.
+
+The sweep contract — parallel == serial, byte-identical — must survive
+per-instance scheduler composition: a ``tiered-express`` pool and a
+token-weighted ``slo-least-load`` carry extra state (PoolSpec, predictor,
+weighted knob) that workers rebuild from the cell spec alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExtensionPolicyConfig, PoolSpec
+from repro.harness.replay import trace_compare
+from repro.harness.runner import ReplaySettings, clear_caches
+from repro.workload.datasets import ARENA_HARD
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    build_trace,
+    export_trace,
+)
+
+HETERO_SETTINGS = ReplaySettings(
+    n_instances=4,
+    kv_capacity_tokens=8000,
+    extensions=ExtensionPolicyConfig(
+        least_load_weighted=True,
+        pool=PoolSpec(express_instances=2, express_threshold_tokens=600),
+    ),
+)
+
+POLICIES = ("tiered-express", "slo-least-load", "pascal")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def trace(tmp_path):
+    path = tmp_path / "hetero.jsonl"
+    export_trace(
+        build_trace(
+            TraceConfig(
+                dataset=ARENA_HARD,
+                n_requests=16,
+                arrival_rate_per_s=2.0,
+                seed=11,
+            )
+        ),
+        path,
+    )
+    return ReplayTraceConfig(path=str(path))
+
+
+def test_parallel_sweep_byte_identical_for_heterogeneous_pools(trace):
+    serial = trace_compare(
+        trace, policies=POLICIES, settings=HETERO_SETTINGS, jobs=1
+    ).render()
+    clear_caches()
+    parallel = trace_compare(
+        trace, policies=POLICIES, settings=HETERO_SETTINGS, jobs=2
+    ).render()
+    assert parallel == serial
+
+
+def test_hetero_settings_change_the_cell_address(trace):
+    from repro.harness.runner import ReplayCell
+    from repro.harness.spec import cell_key
+
+    homogeneous = ReplaySettings(n_instances=4, kv_capacity_tokens=8000)
+    assert cell_key(
+        ReplayCell(trace, "tiered-express", HETERO_SETTINGS)
+    ) != cell_key(ReplayCell(trace, "tiered-express", homogeneous))

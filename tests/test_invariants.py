@@ -1,0 +1,161 @@
+"""Simulation-invariant property tests: random workloads x every policy.
+
+Hypothesis drives small random traces through every registered cluster
+policy — homogeneous and heterogeneous pools alike — and checks the
+conservation laws any correct discrete-event serving simulator must obey:
+
+* the clock never runs backwards (event timestamps non-decreasing);
+* request conservation: every arrival is, at all times, on exactly one
+  instance, in flight between instances, or completed
+  (``admitted = completed + in-flight + queued``);
+* per-instance census never goes negative (queue depths, monitor counts,
+  KV pool headroom);
+* every admitted request terminates, and SLO accounting covers the whole
+  trace (``scored + n_unscored == n_requests``).
+
+The workloads are deliberately tiny (the value is the cross product of
+policies x pool shapes x random traces, not trace length) and the
+Hypothesis profile is derandomized so CI failures reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.config import (
+    ClusterConfig,
+    ExtensionPolicyConfig,
+    InstanceConfig,
+    PoolSpec,
+    SchedulerConfig,
+)
+from repro.core.registry import policy_names
+from repro.metrics.slo import evaluate_slo
+from repro.perfmodel.unit import UnitPerfModel
+from repro.sim.events import EventKind
+from repro.workload.request import Request
+
+#: Heterogeneous variant: an express tier plus token-weighted load, so the
+#: pool-aware policies actually exercise their tiered paths.
+POOL_SHAPES = {
+    "homogeneous": ExtensionPolicyConfig(),
+    "heterogeneous": ExtensionPolicyConfig(
+        least_load_weighted=True,
+        pool=PoolSpec(express_instances=2, express_threshold_tokens=30),
+    ),
+}
+
+#: One request: (prompt_len, reasoning_len, answer_len, inter-arrival gap).
+#: Footprints stay far below the per-instance capacity so no workload can
+#: exceed single-request capacity (which is a configured hard error).
+request_tuples = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_cluster(policy: str, extensions: ExtensionPolicyConfig) -> Cluster:
+    config = ClusterConfig(
+        n_instances=3,
+        instance=InstanceConfig(
+            # Small enough that several concurrent requests contend for
+            # residency (exercising preemption), large enough for any
+            # single generated request.
+            kv_capacity_tokens=256,
+            scheduler=SchedulerConfig(token_quantum=8),
+        ),
+        extensions=extensions,
+    )
+    return Cluster(config, policy=policy, perf=UnitPerfModel(0.01))
+
+
+def trace_from(tuples) -> list[Request]:
+    requests = []
+    t = 0.0
+    for rid, (prompt, reasoning, answer, gap) in enumerate(tuples):
+        t += gap
+        requests.append(
+            Request(
+                rid=rid,
+                prompt_len=prompt,
+                reasoning_len=reasoning,
+                answer_len=answer,
+                arrival_t=t,
+                dataset="short" if reasoning <= 20 else "long",
+            )
+        )
+    return requests
+
+
+@pytest.mark.parametrize("shape", sorted(POOL_SHAPES))
+@pytest.mark.parametrize("policy", policy_names())
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(tuples=request_tuples)
+def test_policy_preserves_simulation_invariants(policy, shape, tuples):
+    cluster = build_cluster(policy, POOL_SHAPES[shape])
+    requests = trace_from(tuples)
+
+    arrivals_dispatched = 0
+    inner_on_arrival = cluster._on_arrival
+
+    def counting_arrival(now, req):
+        nonlocal arrivals_dispatched
+        arrivals_dispatched += 1
+        inner_on_arrival(now, req)
+
+    cluster.engine.register(EventKind.ARRIVAL, counting_arrival)
+    cluster.submit(requests)
+
+    last_now = cluster.engine.now
+    while cluster.engine.step():
+        now = cluster.engine.now
+        assert now >= last_now, "clock ran backwards"
+        last_now = now
+
+        # Request conservation: between events, every dispatched arrival
+        # is on exactly one instance, crossing the fabric, or done.
+        on_instances = sum(len(inst.requests) for inst in cluster.instances)
+        assert cluster.migrations.in_flight >= 0
+        assert (
+            arrivals_dispatched
+            == len(cluster.completed)
+            + cluster.migrations.in_flight
+            + on_instances
+        ), f"request leak at t={now}"
+
+        for inst in cluster.instances:
+            monitor = cluster.monitor
+            assert inst.pool.gpu_free_tokens() >= 0
+            assert inst.pool.gpu_used_blocks >= 0
+            assert inst.pool.total_kv_tokens() >= 0
+            assert monitor.reasoning_count(inst) >= 0
+            assert monitor.fresh_answering_count(inst) >= 0
+            assert monitor.pending_decode_tokens(inst) >= 0
+            assert len(inst.live_requests()) <= len(inst.requests)
+
+    # Termination: the queue drained and every admitted request finished.
+    assert arrivals_dispatched == len(requests)
+    assert cluster.all_finished()
+    assert all(r.finished for r in requests)
+    assert all(r.done_t is not None for r in requests)
+
+    # SLO accounting covers the whole trace: scored + unscored == admitted,
+    # and an unscored (never-answered) request always counts as violating.
+    report = evaluate_slo(requests, cluster.config.slo)
+    assert report.n_requests == len(requests)
+    assert len(report.qoe_scores) + report.n_unscored == report.n_requests
+    assert report.n_violations >= report.n_unscored
+
+    # Monotone per-request timelines.
+    for req in requests:
+        assert req.arrival_t <= req.done_t
+        if req.reasoning_end_t is not None and req.first_answer_t is not None:
+            assert req.reasoning_end_t <= req.first_answer_t

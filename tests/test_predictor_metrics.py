@@ -1,0 +1,172 @@
+"""Predictor-accuracy metrics: EWMA error tracking pinned, codecs lossless.
+
+The ``length-predictive`` / ``tiered-express`` predictors report their
+per-dataset absolute prediction error through
+:attr:`RunMetrics.predictor_abs_errors`.  These tests pin the arithmetic
+on a deterministic synthetic stream with a known distribution shift, and
+verify the field survives every codec a result passes through — the
+in-process dataclass, the disk-cache payload, and a store round-trip — so
+no layer can silently drop predictor quality from a sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig
+from repro.core.extensions import ReasoningLengthPredictor
+from repro.harness import cache as result_cache
+from repro.metrics.collector import RunMetrics
+from repro.perfmodel.unit import UnitPerfModel
+from repro.workload.request import Request
+
+
+def req_for(dataset: str, rid: int = 0) -> Request:
+    return Request(
+        rid=rid, prompt_len=8, reasoning_len=10, answer_len=10, dataset=dataset
+    )
+
+
+def reference_ewma_errors(stream, alpha, prior):
+    """Independent re-implementation of the predictor's error accounting."""
+    estimate = None
+    errors = []
+    for value in stream:
+        predicted = prior if estimate is None else estimate
+        errors.append(abs(predicted - float(value)))
+        estimate = (
+            float(value)
+            if estimate is None
+            else estimate + alpha * (float(value) - estimate)
+        )
+    return errors
+
+
+class TestErrorTracking:
+    #: 60-token regime, then an abrupt shift to 300 tokens.
+    STREAM = (60, 60, 60, 60, 300, 300, 300, 300)
+
+    def predictor_after_stream(self):
+        predictor = ReasoningLengthPredictor(alpha=0.5, prior_tokens=100)
+        for i, value in enumerate(self.STREAM):
+            predictor.observe(req_for("shifty", rid=i), value)
+        return predictor
+
+    def test_errors_match_reference_ewma(self):
+        predictor = self.predictor_after_stream()
+        expected = reference_ewma_errors(self.STREAM, alpha=0.5, prior=100)
+        assert predictor.abs_errors["shifty"] == pytest.approx(expected)
+
+    def test_pinned_error_values(self):
+        # Hand-computed: prior 100 -> first error 40; EWMA snaps to 60;
+        # the shift to 300 costs 240, then halves each observation.
+        predictor = self.predictor_after_stream()
+        assert predictor.abs_errors["shifty"] == pytest.approx(
+            [40.0, 0.0, 0.0, 0.0, 240.0, 120.0, 60.0, 30.0]
+        )
+
+    def test_run_metrics_summaries_pinned(self):
+        metrics = RunMetrics(
+            policy="length-predictive",
+            requests=[],
+            predictor_abs_errors={
+                "shifty": tuple(self.predictor_after_stream().abs_errors["shifty"])
+            },
+        )
+        assert metrics.predictor_error_mean() == pytest.approx(61.25)
+        assert metrics.predictor_error_mean("shifty") == pytest.approx(61.25)
+        assert metrics.predictor_error_percentile(50) == pytest.approx(35.0)
+        assert metrics.predictor_error_mean("unknown") is None
+        ((dataset, n, err_mean, err_p90),) = metrics.predictor_error_rows()
+        assert (dataset, n) == ("shifty", 8)
+        assert err_mean == pytest.approx(61.25)
+        assert err_p90 > err_mean
+
+    def test_error_report_is_sorted_and_frozen(self):
+        predictor = ReasoningLengthPredictor(alpha=0.5, prior_tokens=100)
+        predictor.observe(req_for("zebra"), 10)
+        predictor.observe(req_for("aardvark"), 20)
+        report = predictor.error_report()
+        assert list(report) == ["aardvark", "zebra"]
+        assert all(isinstance(v, tuple) for v in report.values())
+
+    def test_no_observations_reports_nothing(self):
+        metrics = RunMetrics(policy="fcfs", requests=[])
+        assert metrics.predictor_abs_errors == {}
+        assert metrics.predictor_error_mean() is None
+        assert metrics.predictor_error_percentile(90) is None
+        assert metrics.predictor_error_rows() == []
+
+
+class TestCodecsPreservePredictorErrors:
+    def metrics(self) -> RunMetrics:
+        return RunMetrics(
+            policy="length-predictive",
+            requests=[],
+            throughput_tokens_per_s=12.5,
+            predictor_abs_errors={"a": (40.0, 0.5), "b": (7.25,)},
+        )
+
+    def test_payload_codec_round_trips(self):
+        metrics = self.metrics()
+        payload = result_cache.metrics_to_payload(metrics)
+        assert "predictor_abs_errors" in payload  # codec must carry it
+        decoded = result_cache.metrics_from_payload(payload)
+        assert decoded.predictor_abs_errors == metrics.predictor_abs_errors
+
+    def test_decoder_rejects_payloads_missing_the_field(self):
+        # A codec (or tampered entry) that drops the field must fail the
+        # decode — the runner then treats it as a cache miss and recomputes
+        # rather than serving silently-empty predictor columns.
+        payload = result_cache.metrics_to_payload(self.metrics())
+        del payload["predictor_abs_errors"]
+        with pytest.raises(KeyError):
+            result_cache.metrics_from_payload(payload)
+
+    def test_disk_store_round_trips(self, tmp_path):
+        store = result_cache.DiskCache("rw", tmp_path)
+        metrics = self.metrics()
+        payload = result_cache.metrics_to_payload(metrics)
+        assert store.store("k" * 40, "eval", {"kind": "eval"}, payload)
+        loaded = store.load("k" * 40, "eval")
+        decoded = result_cache.metrics_from_payload(loaded)
+        assert decoded.predictor_abs_errors == metrics.predictor_abs_errors
+
+    def test_collect_populates_errors_from_a_real_run(self):
+        config = ClusterConfig(
+            n_instances=2,
+            instance=InstanceConfig(
+                kv_capacity_tokens=4000,
+                scheduler=SchedulerConfig(token_quantum=50),
+            ),
+        )
+        cluster = Cluster(
+            config, policy="length-predictive", perf=UnitPerfModel(0.01)
+        )
+        requests = [
+            Request(
+                rid=i,
+                prompt_len=8,
+                reasoning_len=20,
+                answer_len=10,
+                arrival_t=0.2 * i,
+                dataset="tiny",
+            )
+            for i in range(6)
+        ]
+        cluster.run_trace(requests)
+        from repro.metrics.collector import collect
+
+        metrics = collect(cluster)
+        assert set(metrics.predictor_abs_errors) == {"tiny"}
+        assert len(metrics.predictor_abs_errors["tiny"]) == 6
+        # First prediction uses the 600-token prior against a 20-token
+        # truth; every later one has converged (EWMA snaps on first obs).
+        assert metrics.predictor_abs_errors["tiny"][0] == pytest.approx(580.0)
+        assert metrics.predictor_error_mean() == pytest.approx(580.0 / 6)
+        # ... and the full payload codec round-trips the real run.
+        decoded = result_cache.metrics_from_payload(
+            result_cache.metrics_to_payload(metrics)
+        )
+        assert decoded.predictor_abs_errors == metrics.predictor_abs_errors
