@@ -1,0 +1,124 @@
+"""Live serving-session demo: online submission, lifecycle events,
+admission control and mid-run observation — none of which the batch path
+(`build_trace` -> `run_trace` -> `collect`) can express.
+
+Run::
+
+    PYTHONPATH=src python examples/live_session.py
+
+What it shows:
+
+1. a `ServingSession` fed by a *composed* arrival source — a synthetic
+   chat stream merged with a burst of problem-solving requests;
+2. a `MaxInFlightAdmission` gate applying backpressure (rejections are
+   explicit, accounted outcomes — not SLO violations);
+3. a subscriber receiving per-request lifecycle events (admit, phase
+   change, first token, complete, reject);
+4. `step(until=...)` time-sliced execution with mid-run submission and
+   mid-run metrics snapshots, then a final `drain()`.
+"""
+
+import random
+
+from repro.api import (
+    ListSource,
+    MaxInFlightAdmission,
+    MergedSource,
+    ServingSession,
+    SessionSubscriber,
+    SyntheticSource,
+)
+from repro.config import ClusterConfig, InstanceConfig
+from repro.workload.datasets import ALPACA_EVAL, GPQA
+from repro.workload.request import Request
+from repro.workload.trace import TraceConfig
+
+
+class TailLogger(SessionSubscriber):
+    """Counts events; prints only the milestones EventPrinter drowns out."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def _bump(self, kind):
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def on_admit(self, handle, now, instance_id):
+        self._bump("admit")
+
+    def on_reject(self, handle, now, reason):
+        self._bump("reject")
+        print(f"  !! t={now:7.2f}s request {handle.rid} rejected: {reason}")
+
+    def on_phase_change(self, handle, now):
+        self._bump("phase")
+
+    def on_first_token(self, handle, now):
+        self._bump("first-token")
+
+    def on_complete(self, handle, now):
+        self._bump("complete")
+
+
+def main() -> None:
+    config = ClusterConfig(
+        n_instances=4,
+        instance=InstanceConfig(kv_capacity_tokens=40000),
+    )
+
+    # A chat stream plus a co-arriving burst of heavy reasoning requests.
+    chat = SyntheticSource(
+        TraceConfig(ALPACA_EVAL, n_requests=40, arrival_rate_per_s=1.5, seed=11)
+    )
+    burst_rng = random.Random(3)
+    burst = ListSource(
+        [
+            GPQA.sample_request(1000 + i, 5.0 + 0.01 * i, burst_rng)
+            for i in range(6)
+        ]
+    )
+
+    session = ServingSession(
+        policy="pascal",
+        config=config,
+        admission=MaxInFlightAdmission(24, defer_s=None),
+    )
+    log = session.subscribe(TailLogger())
+    session.attach(MergedSource([chat, burst]))
+
+    # Advance one simulated minute at a time, observing as we go.
+    for minute in range(1, 4):
+        session.step(until=60.0 * minute)
+        snapshot = session.metrics()
+        ttfts = snapshot.ttfts()
+        mean_ttft = sum(ttfts) / len(ttfts) if ttfts else float("nan")
+        print(
+            f"t={session.now:7.2f}s  submitted={session.n_submitted:3d}  "
+            f"in-flight={session.n_in_flight:2d}  "
+            f"completed={session.n_completed:3d}  "
+            f"rejected={session.n_rejected}  mean-ttft={mean_ttft:6.2f}s"
+        )
+
+    # An operator injects a probe request mid-run ("late": its nominal
+    # arrival is long past — it is admitted at the current clock).
+    probe = Request(
+        rid=9999, prompt_len=64, reasoning_len=300, answer_len=80,
+        arrival_t=0.0, dataset="probe",
+    )
+    handle = session.submit(probe)
+    print(f"probe submitted at t={session.now:.2f}s -> {handle.status}")
+
+    metrics = session.drain()
+    print(f"probe finished: ttft={handle.ttft():.2f}s status={handle.status}")
+    print(f"event counts: {dict(sorted(log.counts.items()))}")
+    report = metrics.slo_report(config.slo)
+    print(
+        f"drained: {len(metrics.requests)} completed, "
+        f"{metrics.n_rejected} rejected, "
+        f"SLO violations {100 * report.violation_rate:.1f}% "
+        f"(rejected requests are not violations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,22 @@ Public API quick tour::
     metrics = collect(cluster)
     print(metrics.mean_ttft(), metrics.slo_report(config.slo).violation_rate)
 
+For *online* serving — live submission, lifecycle events, admission
+control, backpressure — use the :mod:`repro.api` façade instead::
+
+    from repro.api import ServingSession, SyntheticSource
+
+    session = ServingSession(policy="pascal")
+    session.attach(SyntheticSource(TraceConfig(ALPACA_EVAL, 200, 3.0, 7)))
+    session.step(until=60.0)          # or drain() to completion
+    print(session.n_completed, session.metrics().mean_ttft())
+
 Subpackages:
 
+* :mod:`repro.api`       — the stable public serving façade:
+  ``ServingSession`` (submit/observe/step/drain + lifecycle subscriber
+  hooks), pull-based ``ArrivalSource`` workload iterators, and
+  ``AdmissionPolicy`` pre-placement gates
 * :mod:`repro.core`      — PASCAL itself (hierarchical scheduler,
   Algorithms 1/2, adaptive migration) plus the cluster-policy strategy
   layer: :class:`ClusterPolicy`, the policy registry, and the extension
@@ -59,6 +73,7 @@ from repro.workload.trace import (
     build_replay_trace,
     build_trace,
     export_trace,
+    iter_trace,
     load_trace,
 )
 
@@ -88,6 +103,7 @@ __all__ = [
     "build_trace",
     "collect",
     "export_trace",
+    "iter_trace",
     "load_trace",
     "create_policy",
     "policy_names",

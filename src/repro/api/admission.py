@@ -1,0 +1,146 @@
+"""Admission control: the gate between arrival and placement.
+
+An :class:`AdmissionPolicy` decides, *before* the cluster policy places a
+request, whether the request is admitted, rejected, or deferred.  This is
+the hook that makes backpressure and SLO-budget admission (in the spirit
+of *SLO-Aware Scheduling for LLM Inferences*) expressible: a batch
+workload cannot be turned away, an online one can.
+
+Decisions are plain data (:class:`AdmissionDecision`), so the cluster core
+stays decoupled from this module — it reads ``decision.action`` /
+``decision.reason`` / ``decision.delay_s`` duck-typed.
+
+Accounting contract (pinned by ``tests/test_api_session.py``):
+
+* a **rejected** request lands in ``cluster.rejected`` / the session's
+  rejected view, is never placed, never completes, and is *excluded* from
+  SLO evaluation — rejection is an explicit, accounted outcome, not an
+  SLO violation and not a completion;
+* a **deferred** request re-arrives ``delay_s`` seconds later and goes
+  through admission again; until then it counts as in flight.  The wait
+  accrues as blocked time in the request's own interval bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    Use the :func:`admit`, :func:`reject` and :func:`defer` constructors
+    rather than instantiating directly.
+    """
+
+    #: ``"admit"``, ``"reject"`` or ``"defer"``.
+    action: str
+    #: Human-readable cause, surfaced through ``on_reject`` events.
+    reason: str = ""
+    #: Re-arrival delay in seconds (``defer`` only; must be positive).
+    delay_s: float = 0.0
+
+
+#: The decision every request gets when no admission policy is installed.
+ADMIT = AdmissionDecision("admit")
+
+
+def admit() -> AdmissionDecision:
+    """Let the arrival through to placement."""
+    return ADMIT
+
+
+def reject(reason: str = "") -> AdmissionDecision:
+    """Turn the arrival away permanently (it never reaches a policy)."""
+    return AdmissionDecision("reject", reason=reason)
+
+
+def defer(delay_s: float, reason: str = "") -> AdmissionDecision:
+    """Re-present the arrival to admission after ``delay_s`` seconds."""
+    if delay_s <= 0:
+        raise ValueError(f"deferral must be positive, got {delay_s}")
+    return AdmissionDecision("defer", reason=reason, delay_s=delay_s)
+
+
+class AdmissionPolicy:
+    """Strategy interface for pre-placement admission control.
+
+    :meth:`decide` receives the live :class:`~repro.cluster.cluster.Cluster`
+    (read it, don't mutate it), the arriving request and the simulated
+    clock, and returns an :class:`AdmissionDecision`.  Useful cluster
+    reads: ``cluster.active_requests()`` (load actually on the cluster;
+    counts the request under decision, which has arrived),
+    ``cluster.instances`` (each exposing ``live_requests()``,
+    ``total_kv_tokens()``, ``gpu_free_tokens()``), ``cluster.monitor``
+    and ``cluster.config``.
+    """
+
+    def decide(
+        self, cluster, req: Request, now: float
+    ) -> AdmissionDecision:
+        raise NotImplementedError
+
+
+class AdmitAll(AdmissionPolicy):
+    """The explicit no-op gate (equivalent to installing no policy)."""
+
+    def decide(self, cluster, req, now) -> AdmissionDecision:
+        return ADMIT
+
+
+class MaxInFlightAdmission(AdmissionPolicy):
+    """Bound concurrent load by request count.
+
+    Arrivals beyond ``limit`` in-flight requests are rejected, or — with
+    ``defer_s`` set — deferred and retried, which turns the bound into
+    backpressure instead of load shedding.
+    """
+
+    def __init__(self, limit: int, defer_s: float | None = None):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if defer_s is not None and defer_s <= 0:
+            raise ValueError(f"defer_s must be positive, got {defer_s}")
+        self.limit = limit
+        self.defer_s = defer_s
+
+    def decide(self, cluster, req, now) -> AdmissionDecision:
+        # ``active_requests()`` counts the request under decision (it has
+        # arrived), so the bound compares the *others* against the limit.
+        if cluster.active_requests() - 1 < self.limit:
+            return ADMIT
+        if self.defer_s is not None:
+            return defer(self.defer_s, reason=f"in-flight >= {self.limit}")
+        return reject(reason=f"in-flight >= {self.limit}")
+
+
+class KVBudgetAdmission(AdmissionPolicy):
+    """Bound concurrent load by total KV footprint (tokens).
+
+    Rejects (or defers) an arrival when the cluster-wide KV footprint —
+    allocated plus queued demand, the same ``m_i`` proxy Algorithm 1
+    reads — already exceeds ``budget_tokens``.  A token-denominated bound
+    sees request-size heterogeneity that a request-count bound misses.
+    """
+
+    def __init__(self, budget_tokens: int, defer_s: float | None = None):
+        if budget_tokens < 1:
+            raise ValueError(
+                f"budget_tokens must be >= 1, got {budget_tokens}"
+            )
+        if defer_s is not None and defer_s <= 0:
+            raise ValueError(f"defer_s must be positive, got {defer_s}")
+        self.budget_tokens = budget_tokens
+        self.defer_s = defer_s
+
+    def decide(self, cluster, req, now) -> AdmissionDecision:
+        footprint = sum(inst.total_kv_tokens() for inst in cluster.instances)
+        if footprint < self.budget_tokens:
+            return ADMIT
+        reason = f"kv footprint {footprint} >= budget {self.budget_tokens}"
+        if self.defer_s is not None:
+            return defer(self.defer_s, reason=reason)
+        return reject(reason=reason)

@@ -1,0 +1,206 @@
+"""Pull-based arrival sources: the workload layer, inverted.
+
+The original entry points materialized the full request list up front and
+handed it to the engine.  An :class:`ArrivalSource` inverts that contract:
+it is a *lazy, arrival-ordered iterator* of :class:`~repro.workload.request.Request`
+objects, consumed incrementally by a :class:`~repro.api.session.ServingSession`
+(via the engine's pull-based feed mechanism), so an unbounded stream —
+live traffic, a huge trace file — enters the event queue one request at a
+time instead of as a horizon-complete preload.  (Laziness bounds the
+*event-queue* footprint, not the run's: requests the cluster has seen
+still accumulate in its ``submitted``/``completed`` measurement records,
+which every metrics view reads.)
+
+Every batch workload constructor has a source counterpart:
+
+=====================================  =====================================
+batch (materialized list)              source (lazy iterator)
+=====================================  =====================================
+``build_trace(TraceConfig)``           :class:`SyntheticSource`
+``build_replay_trace(ReplayConfig)``   :class:`TraceFileSource`
+a plain ``list[Request]``              :class:`ListSource`
+(not expressible)                      :class:`MergedSource` (composition)
+=====================================  =====================================
+
+**Determinism contract.**  A source must yield requests in non-decreasing
+``arrival_t`` order (sessions validate this).  :class:`SyntheticSource`
+draws arrivals and token lengths from the same named RNG streams, in the
+same per-request order, as the batch :func:`~repro.workload.trace.build_trace`
+— so streaming a synthetic workload through a session is *byte-identical*
+to preloading it (``tests/test_api_session.py`` pins this property for
+every registered policy).
+
+Sources are single-use iterables: iterate each instance once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.workload import arrival as arrival_mod
+from repro.workload.request import Request
+from repro.workload.trace import (
+    ReplayTraceConfig,
+    TraceConfig,
+    _make_request,
+    iter_trace,
+)
+from repro.sim.rng import RandomStreams
+
+
+class ArrivalSource:
+    """Abstract lazy request stream (iterate once, arrival-ordered).
+
+    Subclasses implement :meth:`__iter__` yielding freshly constructed
+    :class:`~repro.workload.request.Request` objects with non-decreasing
+    ``arrival_t``.  Freshness matters: simulation mutates request state,
+    so a source must never hand out objects it will yield again.
+    """
+
+    def __iter__(self) -> Iterator[Request]:
+        raise NotImplementedError
+
+    def merged_with(self, *others: "ArrivalSource") -> "MergedSource":
+        """Compose this source with others into one time-ordered stream."""
+        return MergedSource((self, *others))
+
+
+class ListSource(ArrivalSource):
+    """Adapt an already materialized request list to the source contract.
+
+    The list must be arrival-ordered (checked lazily during iteration, so
+    a huge list costs nothing extra up front); ties keep list order, which
+    is exactly what the batch path's FIFO event tie-break did.
+    """
+
+    def __init__(self, requests: Iterable[Request]):
+        self._requests = list(requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        prev = float("-inf")
+        for req in self._requests:
+            if req.arrival_t < prev:
+                raise ValueError(
+                    f"ListSource requests must be arrival-ordered: request "
+                    f"{req.rid} at t={req.arrival_t} after t={prev}"
+                )
+            prev = req.arrival_t
+            yield req
+
+
+class SyntheticSource(ArrivalSource):
+    """Stream a Poisson-arrival dataset workload without materializing it.
+
+    Draw-for-draw equivalent to ``build_trace(config)``: arrivals come
+    from the ``arrivals:<name>`` stream, token lengths from the
+    ``dataset:<name>`` stream, one request at a time.  The two streams are
+    independent :class:`random.Random` instances, so interleaving their
+    draws per request yields exactly the values the batch builder drew in
+    its two separate passes.
+    """
+
+    def __init__(self, config: TraceConfig):
+        self.config = config
+
+    def __iter__(self) -> Iterator[Request]:
+        config = self.config
+        streams = RandomStreams(config.seed)
+        arrivals = arrival_mod.iter_poisson_arrivals(
+            config.arrival_rate_per_s,
+            config.n_requests,
+            streams.stream(f"arrivals:{config.name}"),
+        )
+        lengths_rng = streams.stream(f"dataset:{config.dataset.name}")
+        for rid, t in enumerate(arrivals):
+            yield config.dataset.sample_request(rid, t, lengths_rng)
+
+
+class TraceFileSource(ArrivalSource):
+    """Stream a recorded JSONL trace from disk, one validated line at a
+    time (the lazy counterpart of ``build_replay_trace``).
+
+    ``rate_scale`` rescales arrivals record-by-record as they are read;
+    malformed lines raise :class:`~repro.workload.trace.TraceFormatError`
+    naming the file and line, exactly like the batch loader.
+    """
+
+    def __init__(self, config: ReplayTraceConfig):
+        self.config = config
+
+    def __iter__(self) -> Iterator[Request]:
+        scale = self.config.rate_scale
+        for req in iter_trace(self.config.path):
+            if scale == 1.0:
+                yield req
+            else:
+                yield _make_request(
+                    rid=req.rid,
+                    prompt_len=req.prompt_len,
+                    reasoning_len=req.reasoning_len,
+                    answer_len=req.answer_len,
+                    arrival_t=req.arrival_t / scale,
+                    skip_prefill=req.skip_prefill,
+                    dataset=req.dataset,
+                )
+
+
+class MergedSource(ArrivalSource):
+    """Time-ordered k-way merge of several sources (workload composition).
+
+    Ties break by source position (earlier-listed sources first), then by
+    each source's own order — deterministic regardless of generator
+    timing.  Lazy end to end: each component is advanced only when its
+    head is consumed, so merging unbounded sources stays O(k) memory.
+    """
+
+    def __init__(self, sources: Iterable[ArrivalSource]):
+        self.sources = tuple(sources)
+        if not self.sources:
+            raise ValueError("MergedSource needs at least one source")
+
+    def __iter__(self) -> Iterator[Request]:
+        # Each source contributes at most one head, so (arrival_t, index)
+        # is a total order and heapq never compares Request objects.
+        heads: list[tuple[float, int, Request, Iterator[Request]]] = []
+        for index, source in enumerate(self.sources):
+            iterator = iter(source)
+            first = next(iterator, None)
+            if first is not None:
+                heads.append((first.arrival_t, index, first, iterator))
+        heapq.heapify(heads)
+        while heads:
+            t, index, req, iterator = heapq.heappop(heads)
+            yield req
+            nxt = next(iterator, None)
+            if nxt is not None:
+                if nxt.arrival_t < t:
+                    raise ValueError(
+                        f"source {index} regressed: request {nxt.rid} at "
+                        f"t={nxt.arrival_t} after t={t}"
+                    )
+                heapq.heappush(heads, (nxt.arrival_t, index, nxt, iterator))
+
+
+def as_source(workload) -> ArrivalSource:
+    """Coerce any supported workload shape into an :class:`ArrivalSource`.
+
+    Accepts an existing source (returned unchanged), a
+    :class:`~repro.workload.trace.TraceConfig` (synthesis), a
+    :class:`~repro.workload.trace.ReplayTraceConfig` (JSONL replay), or an
+    iterable of requests.
+    """
+    if isinstance(workload, ArrivalSource):
+        return workload
+    if isinstance(workload, TraceConfig):
+        return SyntheticSource(workload)
+    if isinstance(workload, ReplayTraceConfig):
+        return TraceFileSource(workload)
+    if isinstance(workload, Iterable):
+        return ListSource(workload)
+    raise TypeError(
+        f"cannot build an ArrivalSource from {type(workload).__name__!r}"
+    )

@@ -8,11 +8,31 @@ is delegated to a :class:`~repro.core.policy.ClusterPolicy` resolved
 through :mod:`repro.core.registry`, so the cluster core contains no
 policy-specific logic.
 
+Requests enter two ways:
+
+* **batch** — :meth:`Cluster.submit` schedules every arrival up front
+  (the original reproduce-a-figure path, still the convenience wrapper);
+* **incremental** — :meth:`Cluster.attach_arrivals` feeds a lazy iterator
+  of requests through the engine's pull-based feed mechanism, and
+  :meth:`Cluster.submit_one` injects a single request mid-run (arrivals
+  already in the past are admitted at the current clock).  This is the
+  substrate of the online :class:`repro.api.ServingSession` façade.
+
+Request *lifecycle hooks* (``on_admit_hook`` … ``on_complete_hook``) are
+plain callables, no-ops by default, fired at admission, rejection,
+deferral, the reasoning→answering transition, the first answering token
+and completion.  An optional :attr:`Cluster.admission` policy (duck-typed
+``decide(cluster, req, now)``, see :mod:`repro.api.admission`) can reject
+or defer an arrival before placement; rejected requests land in
+:attr:`Cluster.rejected` and are never seen by the scheduling policy.
+
 See :mod:`repro.core.policies` for the paper's comparison set and
 :mod:`repro.core.extensions` for the policies beyond it.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
 
 from repro.cluster.fabric import Fabric
 from repro.cluster.migration import MigrationManager
@@ -78,7 +98,42 @@ class Cluster:
 
         self.completed: list[Request] = []
         self.submitted: list[Request] = []
+        self.rejected: list[Request] = []
+        #: Requests whose ARRIVAL event is scheduled but not yet
+        #: dispatched: batch submissions awaiting their arrival time,
+        #: source pulls the engine has queued ahead, and admission
+        #: deferrals.  Distinguishes "seen" from "actually on the
+        #: cluster" (see :meth:`active_requests`).
+        self.pending_arrivals = 0
         self.token_log: dict[int, list[float]] | None = None
+
+        #: Optional pre-placement gate: ``decide(cluster, req, now)``
+        #: returning an object with ``action`` in {"admit","reject",
+        #: "defer"} (see :mod:`repro.api.admission`).  None admits all.
+        self.admission = None
+
+        #: Lifecycle hooks, fired by the event handlers below.  They are
+        #: plain attributes (not a subscriber list) so the no-hook fast
+        #: path costs one attribute call; :class:`repro.api.ServingSession`
+        #: wires them to its subscriber fan-out.
+        self.on_admit_hook: Callable[[Request, ServingInstance, float], None] = (
+            lambda req, inst, now: None
+        )
+        self.on_reject_hook: Callable[[Request, float, str], None] = (
+            lambda req, now, reason: None
+        )
+        self.on_defer_hook: Callable[[Request, float, float], None] = (
+            lambda req, now, delay_s: None
+        )
+        self.on_phase_hook: Callable[[Request, ServingInstance, float], None] = (
+            lambda req, src, now: None
+        )
+        self.on_first_token_hook: Callable[[Request, float], None] = (
+            lambda req, now: None
+        )
+        self.on_complete_hook: Callable[[Request, float], None] = (
+            lambda req, now: None
+        )
 
         self.engine.register(EventKind.ARRIVAL, self._on_arrival)
         self.engine.register(EventKind.STEP_COMPLETE, self._on_step_complete)
@@ -88,6 +143,7 @@ class Cluster:
         for inst in self.instances:
             inst.on_transition = self._on_phase_transition
             inst.on_complete = self._on_request_complete
+            inst.on_first_token = self._on_first_token
 
     @property
     def policy_name(self) -> str:
@@ -97,7 +153,29 @@ class Cluster:
     # event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, req: Request) -> None:
-        self.policy.place_arrival(req, now).admit(req, now)
+        self.pending_arrivals -= 1
+        if self.admission is not None:
+            decision = self.admission.decide(self, req, now)
+            action = getattr(decision, "action", "admit")
+            if action == "reject":
+                self.rejected.append(req)
+                self.policy.on_arrival_rejected(req, now)
+                self.on_reject_hook(req, now, getattr(decision, "reason", ""))
+                return
+            if action == "defer":
+                delay_s = getattr(decision, "delay_s", 0.0)
+                if delay_s <= 0:
+                    raise ValueError(
+                        f"admission deferred request {req.rid} by "
+                        f"{delay_s}s; deferrals must be positive"
+                    )
+                self.pending_arrivals += 1
+                self.engine.schedule_in(delay_s, EventKind.ARRIVAL, req)
+                self.on_defer_hook(req, now, delay_s)
+                return
+        inst = self.policy.place_arrival(req, now)
+        inst.admit(req, now)
+        self.on_admit_hook(req, inst, now)
 
     def _on_step_complete(self, now: float, inst: ServingInstance) -> None:
         inst.on_step_complete(now)
@@ -107,9 +185,16 @@ class Cluster:
     ) -> None:
         """A request just emitted its end-of-think token on ``src``."""
         self.policy.on_phase_transition(req, src, now)
+        # Fire after routing, so subscribers observe the post-decision
+        # state (MIGRATING vs re-enqueued locally).
+        self.on_phase_hook(req, src, now)
+
+    def _on_first_token(self, req: Request, now: float) -> None:
+        self.on_first_token_hook(req, now)
 
     def _on_request_complete(self, req: Request, now: float) -> None:
         self.completed.append(req)
+        self.on_complete_hook(req, now)
 
     # ------------------------------------------------------------------
     # driving
@@ -121,11 +206,49 @@ class Cluster:
             inst.token_log = self.token_log
         return self.token_log
 
+    def submit_one(self, req: Request) -> None:
+        """Schedule one arrival, mid-run safe.
+
+        A request whose ``arrival_t`` is already in the past (a *late
+        submission* relative to the simulated clock) is scheduled at the
+        current clock instead: the wall-clock gap between its nominal
+        arrival and its admission is accounted as blocked/queued time by
+        the request's own interval bookkeeping.  The pre-feed batch path
+        scheduled strictly at ``arrival_t`` and crashed on any mid-run
+        submission ("cannot schedule into the past").
+        """
+        self.submitted.append(req)
+        self.pending_arrivals += 1
+        self.engine.schedule(
+            max(req.arrival_t, self.engine.now), EventKind.ARRIVAL, req
+        )
+
     def submit(self, requests: list[Request]) -> None:
-        """Schedule arrival events for a trace."""
+        """Schedule arrival events for a trace (the batch convenience)."""
+        for req in requests:
+            self.submit_one(req)
+
+    def attach_arrivals(self, requests: Iterable[Request]) -> None:
+        """Feed a lazy, arrival-ordered request iterator into the engine.
+
+        Requests are pulled one at a time as the simulation advances (see
+        :meth:`repro.sim.engine.SimulationEngine.attach_feed`), so an
+        arbitrarily long source is never materialized ahead of the run —
+        though each pulled request joins :attr:`submitted` (and later
+        :attr:`completed`) for measurement, so per-run memory still grows
+        with the requests actually served.  ``len(cluster.submitted)`` is
+        the number of requests the cluster has *seen*, not the length of
+        the source.
+        """
+        self.engine.attach_feed(self._arrival_feed(requests))
+
+    def _arrival_feed(
+        self, requests: Iterable[Request]
+    ) -> Iterator[tuple[float, EventKind, Request]]:
         for req in requests:
             self.submitted.append(req)
-            self.engine.schedule(req.arrival_t, EventKind.ARRIVAL, req)
+            self.pending_arrivals += 1
+            yield req.arrival_t, EventKind.ARRIVAL, req
 
     def run(self) -> list[Request]:
         """Drain the simulation; returns the completed requests."""
@@ -152,4 +275,27 @@ class Cluster:
         return total / (end - start)
 
     def all_finished(self) -> bool:
-        return len(self.completed) == len(self.submitted)
+        """Every seen request resolved (completed or admission-rejected)."""
+        return len(self.completed) + len(self.rejected) == len(self.submitted)
+
+    def in_flight(self) -> int:
+        """Requests seen but not yet resolved.
+
+        Counts everything between submission and a terminal outcome:
+        running/queued/migrating requests, admission deferrals awaiting
+        re-arrival, and source pulls whose arrival event is still queued.
+        For admission decisions prefer :meth:`active_requests`, which
+        excludes the not-yet-arrived.
+        """
+        return len(self.submitted) - len(self.completed) - len(self.rejected)
+
+    def active_requests(self) -> int:
+        """Requests actually occupying the cluster right now.
+
+        :meth:`in_flight` minus arrivals that are merely scheduled
+        (future batch submissions, the engine's one-ahead source pulls,
+        admission deferrals).  During an admission decision the request
+        being decided *is* counted — it has arrived — so concurrency
+        gates compare ``active_requests() - 1`` against their bound.
+        """
+        return self.in_flight() - self.pending_arrivals

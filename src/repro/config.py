@@ -168,6 +168,13 @@ class ExtensionPolicyConfig:
     harness code and tests construct scenarios from plain dataclasses.
     """
 
+    #: Online reasoning-length predictor variant: ``"ewma"`` (flat
+    #: per-dataset EWMA of observed lengths) or ``"bucketed-ewma"``
+    #: (per-dataset geometric length buckets with EWMA-decayed weights,
+    #: predicting the weighted-median bucket — tracks the lognormal
+    #: body instead of being dragged by its tail, which is what the flat
+    #: EWMA's absolute error pays for on GPQA-like datasets).
+    predictor: str = "ewma"
     #: EWMA smoothing factor of the online reasoning-length predictor.
     predictor_alpha: float = 0.25
     #: Predictor prior for a dataset with no observations yet (tokens).

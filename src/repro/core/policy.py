@@ -19,6 +19,15 @@ Policies are constructed per cluster (``create_policy(name, config)``) and
 bound once via :meth:`ClusterPolicy.bind`, after the instance pool, monitor
 and migration manager exist.
 
+Request *lifecycle* plumbing: the cluster notifies its policy of every
+placement decision it delegates (:meth:`ClusterPolicy.place_arrival`,
+:meth:`ClusterPolicy.on_phase_transition`) and of arrivals an admission
+gate turned away before placement
+(:meth:`ClusterPolicy.on_arrival_rejected`); the observable per-request
+event stream (admit / phase change / first token / complete / reject) is
+surfaced to callers through :class:`repro.api.ServingSession` subscribers,
+not through the policy.
+
 :meth:`ClusterPolicy.make_intra_scheduler` receives the instance id, so a
 policy can compose a *heterogeneous* pool — e.g. FCFS "express" instances
 for short requests next to PASCAL instances (see
@@ -168,6 +177,15 @@ class ClusterPolicy:
         override this and typically finish with :meth:`route_transition`.
         """
         src.scheduler.on_phase_transition_local(req, now)
+
+    def on_arrival_rejected(self, req: Request, now: float) -> None:
+        """An admission policy rejected ``req`` before placement.
+
+        The cluster never calls :meth:`place_arrival` for a rejected
+        request; this notification is the only signal the policy gets.
+        The default ignores it — stateful policies (online predictors,
+        load estimators) can override to account for turned-away demand.
+        """
 
     def predictor_errors(self) -> "dict[str, tuple[float, ...]]":
         """Per-dataset absolute reasoning-length prediction errors (tokens).

@@ -30,6 +30,18 @@ Usage::
     python -m repro.harness trace-compare --trace trace.jsonl \\
         --pool 2:800 --policies tiered-express,pascal  # heterogeneous pool
 
+    # convert real server logs into the trace schema:
+    python -m repro.harness import-trace --format vllm \\
+        --input server_requests.jsonl --output trace.jsonl
+    python -m repro.harness import-trace --format openai \\
+        --input responses.jsonl --output trace.jsonl --skip-malformed
+
+    # stream a trace through the online ServingSession API, printing
+    # per-request lifecycle events (admit/phase/first-token/complete):
+    python -m repro.harness serve --trace examples/sample_trace.jsonl
+    python -m repro.harness serve --trace trace.jsonl --policy fcfs \\
+        --admit-max 64        # reject arrivals beyond 64 in flight
+
 ``--jobs`` parallelizes at the simulation-cell level (one dataset x tier x
 policy run, or one replayed trace x policy, per task): the requested cells
 are deduplicated, executed across worker processes, and every table is then
@@ -52,6 +64,12 @@ import argparse
 import os
 import sys
 
+from repro.api import (
+    EventPrinter,
+    MaxInFlightAdmission,
+    ServingSession,
+    TraceFileSource,
+)
 from repro.config import ExtensionPolicyConfig, PoolSpec
 from repro.core.registry import get_policy_class, policy_table
 from repro.harness import cache as result_cache
@@ -59,6 +77,7 @@ from repro.harness import runner
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.replay import trace_compare
 from repro.harness.runner import ReplaySettings, sweep
+from repro.workload import importers
 from repro.workload.datasets import get_dataset, reasoning_heavy_mix
 from repro.workload.trace import (
     ReplayTraceConfig,
@@ -70,7 +89,7 @@ from repro.workload.trace import (
 )
 
 #: Targets handled by the trace tools rather than the figure registry.
-TRACE_TARGETS = ("trace-compare", "record-trace")
+TRACE_TARGETS = ("trace-compare", "record-trace", "import-trace", "serve")
 
 #: Sub-actions of the `cache` maintenance target.
 CACHE_ACTIONS = ("ls", "prune", "clear")
@@ -192,6 +211,50 @@ def _parser() -> argparse.ArgumentParser:
         "routing threshold in tokens (consumed by tier-aware policies "
         "such as tiered-express)",
     )
+    serve = parser.add_argument_group("online session streaming (serve)")
+    serve.add_argument(
+        "--policy",
+        metavar="NAME",
+        default="pascal",
+        help="cluster policy the serving session runs (default: pascal)",
+    )
+    serve.add_argument(
+        "--admit-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: reject arrivals while N requests are "
+        "already in flight (default: admit everything)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-event stream; print only the summary",
+    )
+    importer = parser.add_argument_group("log conversion (import-trace)")
+    importer.add_argument(
+        "--format",
+        choices=importers.IMPORT_FORMATS,
+        default=None,
+        help="input log format: vllm (RequestOutput/RequestMetrics JSONL) "
+        "or openai (API response JSONL)",
+    )
+    importer.add_argument(
+        "--input",
+        metavar="PATH",
+        help="log file to convert",
+    )
+    importer.add_argument(
+        "--output",
+        metavar="PATH",
+        help="destination JSONL trace",
+    )
+    importer.add_argument(
+        "--skip-malformed",
+        action="store_true",
+        help="import every valid line and report the malformed ones "
+        "(default: fail on the first malformed line)",
+    )
     record = parser.add_argument_group("trace recording (record-trace)")
     record.add_argument(
         "--record-trace",
@@ -244,6 +307,10 @@ def _print_experiment_list() -> None:
     print(f"{'figures':20s} All cell-backed tables (the disk-cacheable set)")
     print(f"{'record-trace':20s} Synthesize a trace and record it to JSONL")
     print(f"{'trace-compare':20s} Replay a JSONL trace through the policies")
+    print(f"{'import-trace':20s} Convert vLLM/OpenAI-style logs to the "
+          "trace schema")
+    print(f"{'serve':20s} Stream a trace through the online "
+          "ServingSession API")
     print(f"{'bench':20s} Microbenchmarks -> BENCH_<date>.json artifact")
     print(f"{'cache':20s} Result-store maintenance: cache ls|prune|clear")
 
@@ -357,6 +424,92 @@ def _run_trace_compare(args) -> int:
             print(f"trace-compare: {exc}", file=sys.stderr)
             return 2
         print(f"replayed trace recorded -> {args.record_trace}")
+    return 0
+
+
+def _run_import_trace(args) -> int:
+    """`import-trace`: convert a real-format log into the trace schema."""
+    if not args.format or not args.input or not args.output:
+        print(
+            "import-trace needs --format {vllm,openai}, --input PATH and "
+            "--output PATH",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = importers.import_to_trace(
+            args.input,
+            args.output,
+            fmt=args.format,
+            strict=not args.skip_malformed,
+        )
+    except (importers.TraceImportError, OSError, ValueError) as exc:
+        print(f"import-trace: {exc}", file=sys.stderr)
+        return 2
+    if report.errors:
+        print(
+            f"import-trace: skipped {len(report.errors)} malformed "
+            f"line(s):\n{report.error_summary()}",
+            file=sys.stderr,
+        )
+    if not report.requests:
+        print(
+            f"import-trace: no importable requests in {args.input} "
+            f"({report.n_lines} lines)",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"imported {report.n_imported}/{report.n_lines} requests "
+        f"({args.format}) -> {args.output}"
+    )
+    return 0
+
+
+def _run_serve(args) -> int:
+    """`serve`: stream a trace through the online ServingSession API."""
+    if not args.trace:
+        print("serve needs an input trace: --trace PATH", file=sys.stderr)
+        return 2
+    try:
+        trace = ReplayTraceConfig(path=args.trace, rate_scale=args.rate_scale)
+        get_policy_class(args.policy)
+        admission = None
+        if args.admit_max is not None:
+            admission = MaxInFlightAdmission(args.admit_max)
+        settings = ReplaySettings()
+        if args.pool is not None:
+            settings = ReplaySettings(
+                extensions=ExtensionPolicyConfig(pool=_parse_pool(args.pool))
+            )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    session = ServingSession(
+        policy=args.policy,
+        config=settings.cluster_config(),
+        admission=admission,
+    )
+    if not args.quiet:
+        session.subscribe(EventPrinter())
+    try:
+        # Attaching primes the source's first record, so file problems
+        # (missing trace, malformed line 1) surface here as well as
+        # during the incremental pulls inside drain().
+        session.attach(TraceFileSource(trace))
+        metrics = session.drain()
+    except (TraceFormatError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    ttfts = metrics.ttfts()
+    mean_ttft = (
+        f"{sum(ttfts) / len(ttfts):.3f}s mean ttft" if ttfts else "no ttft"
+    )
+    print(
+        f"served {session.n_completed} requests "
+        f"({session.n_rejected} rejected) from {trace.name} under "
+        f"{args.policy} in {session.now:.1f}s simulated; {mean_ttft}"
+    )
     return 0
 
 
@@ -489,11 +642,14 @@ def main(argv: list[str]) -> int:
     if args.scale is not None and args.scale != "both":
         os.environ["REPRO_SCALE"] = args.scale
 
+    trace_handlers = {
+        "record-trace": _run_record_trace,
+        "trace-compare": _run_trace_compare,
+        "import-trace": _run_import_trace,
+        "serve": _run_serve,
+    }
     for target in trace_targets:
-        handler = (
-            _run_record_trace if target == "record-trace" else _run_trace_compare
-        )
-        status = handler(args)
+        status = trace_handlers[target](args)
         if status != 0:
             _print_cache_stats()
             return status

@@ -96,6 +96,10 @@ _NON_SIMULATOR_MODULES = frozenset(
         "harness/report.py",
         "harness/spec.py",
         "harness/timeline.py",
+        # Log importers only *produce* trace files; a replay cell is
+        # addressed by the trace's content, so importer edits cannot
+        # change any cached result.
+        "workload/importers.py",
     }
 )
 
@@ -241,13 +245,14 @@ def metrics_to_payload(metrics: RunMetrics) -> dict:
             for dataset, errors in metrics.predictor_abs_errors.items()
         },
         "requests": [request_to_record(r) for r in metrics.requests],
+        "rejected": [request_to_record(r) for r in metrics.rejected],
     }
 
 
 def metrics_from_payload(payload: dict) -> RunMetrics:
-    # `predictor_abs_errors` is read strictly: a codec (or cache entry)
-    # that drops it must surface as a decode failure, not as silently
-    # empty predictor columns in a figure.
+    # `predictor_abs_errors` and `rejected` are read strictly: a codec
+    # (or cache entry) that drops either must surface as a decode failure
+    # — recomputed as a miss — not as silently empty columns in a figure.
     return RunMetrics(
         policy=payload["policy"],
         requests=[request_from_record(r) for r in payload["requests"]],
@@ -257,6 +262,7 @@ def metrics_from_payload(payload: dict) -> RunMetrics:
             dataset: tuple(errors)
             for dataset, errors in payload["predictor_abs_errors"].items()
         },
+        rejected=[request_from_record(r) for r in payload["rejected"]],
     )
 
 

@@ -9,6 +9,13 @@ do on my production traffic?" is one command::
 :func:`trace_compare` builds one :class:`ReplayCell` per policy, fans them
 out through :func:`~repro.harness.runner.sweep` (parallel == serial,
 byte-identical), and renders a per-policy TTFT / TTFAT / QoE / SLO table.
+
+Each replay cell executes as a thin client of the online
+:class:`repro.api.ServingSession` façade (see
+:func:`~repro.harness.runner.run_replay`): the trace streams from disk one
+validated record at a time, so the request list is never materialized
+ahead of the simulation (per-request measurement records still accumulate
+for the metrics table, as in every run).
 """
 
 from __future__ import annotations

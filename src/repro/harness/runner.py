@@ -13,6 +13,14 @@ Every run rebuilds its trace from the same seed, so all policies see
 byte-identical workloads, and run results are memoized per configuration so
 the figure benchmarks can share the expensive simulations.
 
+The evaluation and replay runners are thin clients of the online
+:class:`repro.api.ServingSession` façade: workloads stream in through
+pull-based :class:`~repro.api.sources.ArrivalSource` iterators instead of
+a materialized list.  The streaming path is draw-for-draw and
+event-for-event equivalent to the old batch preload (the golden tables
+and ``tests/test_api_session.py`` pin it), so this is purely an
+architectural inversion, not a behavior change.
+
 :func:`sweep` fans a set of :class:`EvalCell` / :class:`CharCell` /
 :class:`ReplayCell` work items out over ``multiprocessing`` workers and
 seeds the memoization caches with the results, so a figure build that
@@ -34,6 +42,7 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field
 
+from repro.api import ServingSession, SyntheticSource, TraceFileSource
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, ExtensionPolicyConfig, InstanceConfig
 from repro.harness import cache as result_cache
@@ -54,8 +63,6 @@ from repro.workload.trace import (
     ReplayTraceConfig,
     TraceConfig,
     TraceFormatError,
-    build_replay_trace,
-    build_trace,
 )
 
 
@@ -421,24 +428,30 @@ def run_evaluation(
         raise KeyError(
             f"unknown rate tier {rate_tier!r}; expected {sorted(rates)}"
         )
-    trace = build_trace(
-        TraceConfig(
-            dataset=dataset,
-            n_requests=settings.n_requests_for(dataset),
-            arrival_rate_per_s=rates[rate_tier],
-            seed=settings.seed,
+    # Thin client of the serving-session façade: the synthetic workload
+    # streams into the engine incrementally (no up-front request list),
+    # and the result is byte-identical to the old batch preload — the
+    # golden tables pin that equivalence.
+    session = ServingSession(policy=policy, config=settings.cluster_config())
+    session.attach(
+        SyntheticSource(
+            TraceConfig(
+                dataset=dataset,
+                n_requests=settings.n_requests_for(dataset),
+                arrival_rate_per_s=rates[rate_tier],
+                seed=settings.seed,
+            )
         )
     )
-    cluster = Cluster(settings.cluster_config(), policy=policy)
     _count_simulation()
-    cluster.run_trace(trace)
-    if not cluster.all_finished():
+    session.step()
+    if not session.cluster.all_finished():
         raise RuntimeError(
-            f"run did not drain: {len(cluster.completed)}/"
-            f"{len(cluster.submitted)} finished "
+            f"run did not drain: {session.n_completed}/"
+            f"{session.n_submitted} finished "
             f"({dataset.name}, {rate_tier}, {policy})"
         )
-    metrics = collect(cluster)
+    metrics = session.metrics()
     _eval_cache[key] = metrics
     _disk_store(cell, metrics)
     return metrics
@@ -505,18 +518,21 @@ def run_replay(
     if disk_hit is not None:
         _replay_cache[key] = disk_hit
         return disk_hit
-    requests = build_replay_trace(trace)
-    if not requests:
-        raise TraceFormatError(trace.path, 1, "trace contains no requests")
-    cluster = Cluster(settings.cluster_config(), policy=policy)
+    # Thin client of the serving-session façade: records stream from disk
+    # one validated line at a time instead of loading up front
+    # (TraceFormatError surfaces on the offending line, mid-run).
+    session = ServingSession(policy=policy, config=settings.cluster_config())
+    session.attach(TraceFileSource(trace))
     _count_simulation()
-    cluster.run_trace(requests)
-    if not cluster.all_finished():
+    session.step()
+    if session.n_submitted == 0:
+        raise TraceFormatError(trace.path, 1, "trace contains no requests")
+    if not session.cluster.all_finished():
         raise RuntimeError(
-            f"replay did not drain: {len(cluster.completed)}/"
-            f"{len(cluster.submitted)} finished ({trace.name}, {policy})"
+            f"replay did not drain: {session.n_completed}/"
+            f"{session.n_submitted} finished ({trace.name}, {policy})"
         )
-    metrics = collect(cluster)
+    metrics = session.metrics()
     _replay_cache[key] = metrics
     _disk_store(cell, metrics, disk_ref)
     return metrics

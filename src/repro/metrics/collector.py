@@ -14,7 +14,18 @@ PHASE_BUCKETS = ("executed", "blocked", "preempted")
 
 @dataclass
 class RunMetrics:
-    """Measurements extracted from one completed simulation run."""
+    """Measurements extracted from one simulation run.
+
+    ``requests`` holds the *completed* requests; ``rejected`` the ones an
+    admission policy turned away before placement (empty everywhere the
+    legacy admit-everything paths run).  The two are disjoint by
+    construction, and only completed requests enter the latency and SLO
+    views — a rejection is an explicit outcome, not a silent violation.
+
+    Collection is snapshot-safe: :func:`collect` may be called mid-run
+    (the :class:`repro.api.ServingSession` ``metrics()`` path), in which
+    case the views cover the requests resolved so far.
+    """
 
     policy: str
     requests: list[Request]
@@ -26,6 +37,13 @@ class RunMetrics:
     predictor_abs_errors: dict[str, tuple[float, ...]] = field(
         default_factory=dict
     )
+    #: Requests rejected by admission control (never placed, never run).
+    rejected: list[Request] = field(default_factory=list)
+
+    @property
+    def n_rejected(self) -> int:
+        """Admission rejections (``rejected`` is the full request list)."""
+        return len(self.rejected)
 
     # ------------------------------------------------------------------
     # latency views
@@ -146,7 +164,7 @@ class RunMetrics:
 
 
 def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
-    """Snapshot a finished cluster run into a :class:`RunMetrics`."""
+    """Snapshot a cluster run (finished or mid-flight) into metrics."""
     reqs = requests if requests is not None else cluster.completed
     return RunMetrics(
         policy=cluster.policy_name,
@@ -154,4 +172,5 @@ def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
         throughput_tokens_per_s=cluster.throughput_tokens_per_s(),
         transfer_latencies_s=cluster.migrations.transfer_latencies(),
         predictor_abs_errors=cluster.policy.predictor_errors(),
+        rejected=list(cluster.rejected),
     )

@@ -59,6 +59,9 @@ class ServingInstance:
         #: Wired by the cluster; default no-ops keep the instance standalone.
         self.on_transition: TransitionHook = lambda req, inst, now: None
         self.on_complete: CompletionHook = lambda req, now: None
+        #: Fired once per request, at its first *answering* token (the
+        #: paper's TTFT milestone); feeds the session lifecycle stream.
+        self.on_first_token: CompletionHook = lambda req, now: None
 
         #: Optional shared rid -> [token time] log (timeline tooling).
         self.token_log: dict[int, list[float]] | None = None
@@ -225,10 +228,15 @@ class ServingInstance:
     # ------------------------------------------------------------------
     def _emit_token(self, req: Request, now: float) -> None:
         was_reasoning = req.phase == Phase.REASONING
+        awaiting_first_answer = req.first_answer_t is None
         req.record_token(now)
         self.tokens_generated += 1
         if self.token_log is not None:
             self.token_log.setdefault(req.rid, []).append(now)
+        if awaiting_first_answer and req.first_answer_t is not None:
+            # Fired before any completion hook: a one-token answer reaches
+            # its TTFT milestone and finishes on the same token.
+            self.on_first_token(req, now)
         if req.finished:
             self.pool.release(req)
             self.requests.discard(req)

@@ -32,20 +32,31 @@ class Event:
     ``cancelled`` supports lazy deletion: the owner flips the flag and the
     engine skips the event when it is popped.  This is how stale
     ``STEP_COMPLETE`` events are invalidated after a forced re-schedule.
+
+    Ordering is ``(time, kind priority, seq)``: arrivals dispatch before
+    any other event kind sharing their exact timestamp, then FIFO.  A
+    batch preload produced that order implicitly — every ARRIVAL was
+    scheduled (and numbered) before the first handler ran — and pull-based
+    feeding must reproduce it even though it interleaves arrival pushes
+    with handler pushes, so the invariant lives in the comparator where
+    neither path can miss it.
     """
 
-    __slots__ = ("time", "seq", "kind", "payload", "cancelled")
+    __slots__ = ("time", "seq", "kind", "priority", "payload", "cancelled")
 
     def __init__(self, time: float, seq: int, kind: EventKind, payload: Any):
         self.time = time
         self.seq = seq
         self.kind = kind
+        self.priority = 0 if kind is EventKind.ARRIVAL else 1
         self.payload = payload
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
             return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -57,9 +68,18 @@ class EventQueue:
     """Min-heap of :class:`Event` with deterministic tie-breaking.
 
     The ordering contract shared by every queue implementation: events pop
-    in ``(time, seq)`` order, i.e. strictly by timestamp with FIFO among
-    equal timestamps.  The bucket-queue candidate below must honour it
-    bit-for-bit — the simulator's determinism rests on it.
+    in ``(time, kind priority, seq)`` order — strictly by timestamp,
+    arrivals ahead of other kinds at equal timestamps, FIFO within a
+    kind-priority class (see :class:`Event`).  The bucket-queue candidate
+    below must honour it bit-for-bit — the simulator's determinism rests
+    on it.
+
+    The arrival-first tie rule is what makes *incremental* event
+    production (:meth:`repro.sim.engine.SimulationEngine.attach_feed`)
+    equivalent to a batch preload: preloading gives every arrival a lower
+    sequence number than any handler-scheduled event, while a feed
+    interleaves the two — the comparator guarantees both produce the same
+    dispatch order at timestamp collisions.
     """
 
     def __init__(self) -> None:

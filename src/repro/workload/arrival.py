@@ -9,6 +9,31 @@ cluster token throughput via load factors (see ``harness/calibrate.py``).
 from __future__ import annotations
 
 import random
+from typing import Iterator
+
+
+def iter_poisson_arrivals(
+    rate_per_s: float,
+    n_requests: int,
+    rng: random.Random,
+    start_t: float = 0.0,
+) -> Iterator[float]:
+    """Arrival timestamps of a homogeneous Poisson process, lazily.
+
+    Interarrival gaps are iid Exponential(rate); timestamps are
+    cumulative.  The single source of truth for the arrival recurrence:
+    the batch :func:`poisson_arrivals` and the streaming
+    :class:`repro.api.sources.SyntheticSource` both consume it, which is
+    what keeps the two paths draw-for-draw identical.
+    """
+    if rate_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_s}")
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be non-negative, got {n_requests}")
+    t = start_t
+    for _ in range(n_requests):
+        t += rng.expovariate(rate_per_s)
+        yield t
 
 
 def poisson_arrivals(
@@ -17,20 +42,8 @@ def poisson_arrivals(
     rng: random.Random,
     start_t: float = 0.0,
 ) -> list[float]:
-    """Arrival timestamps of a homogeneous Poisson process.
-
-    Interarrival gaps are iid Exponential(rate); timestamps are cumulative.
-    """
-    if rate_per_s <= 0:
-        raise ValueError(f"rate must be positive, got {rate_per_s}")
-    if n_requests < 0:
-        raise ValueError(f"n_requests must be non-negative, got {n_requests}")
-    times: list[float] = []
-    t = start_t
-    for _ in range(n_requests):
-        t += rng.expovariate(rate_per_s)
-        times.append(t)
-    return times
+    """Materialized form of :func:`iter_poisson_arrivals`."""
+    return list(iter_poisson_arrivals(rate_per_s, n_requests, rng, start_t))
 
 
 def uniform_arrivals(

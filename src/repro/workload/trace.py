@@ -254,15 +254,18 @@ def _parse_header(obj, path, line_no) -> None:
         )
 
 
-def load_trace(path: str | os.PathLike) -> list[Request]:
-    """Load a JSONL trace into fresh :class:`Request` objects.
+def iter_trace(path: str | os.PathLike):
+    """Stream a JSONL trace as freshly constructed :class:`Request` objects.
 
-    Every call returns newly constructed requests (simulation mutates them,
-    so replaying one trace through several policies needs a fresh list each
-    run).  Malformed lines raise :class:`TraceFormatError` naming the file
-    and line.
+    The incremental counterpart of :func:`load_trace`: one validated
+    record at a time, so a trace of any length can feed an online
+    :class:`~repro.api.session.ServingSession` without materializing.
+    Validation is identical — malformed lines, out-of-order arrivals and
+    duplicate ids raise :class:`TraceFormatError` naming the file and
+    line, an empty file raises at the first pull.  (Duplicate-id tracking
+    keeps one integer per record; everything else is O(1) memory.)
     """
-    requests: list[Request] = []
+    count = 0
     seen_ids: set[int] = set()
     header_seen = False
     prev_arrival = 0.0
@@ -280,7 +283,7 @@ def load_trace(path: str | os.PathLike) -> list[Request]:
                 _parse_header(obj, path, line_no)
                 header_seen = True
                 continue
-            req = _parse_record(obj, rid_default=len(requests), path=path,
+            req = _parse_record(obj, rid_default=count, path=path,
                                 line_no=line_no)
             if req.arrival_t < prev_arrival:
                 raise TraceFormatError(
@@ -295,10 +298,21 @@ def load_trace(path: str | os.PathLike) -> list[Request]:
                 )
             seen_ids.add(req.rid)
             prev_arrival = req.arrival_t
-            requests.append(req)
+            count += 1
+            yield req
     if not header_seen:
         raise TraceFormatError(path, 1, "empty trace file (missing header)")
-    return requests
+
+
+def load_trace(path: str | os.PathLike) -> list[Request]:
+    """Load a JSONL trace into fresh :class:`Request` objects.
+
+    Every call returns newly constructed requests (simulation mutates them,
+    so replaying one trace through several policies needs a fresh list each
+    run).  Malformed lines raise :class:`TraceFormatError` naming the file
+    and line.
+    """
+    return list(iter_trace(path))
 
 
 # ---------------------------------------------------------------------------

@@ -189,16 +189,19 @@ class TestDiskHits:
                 dataset=ALPACA_EVAL, n_requests=12, arrival_rate_per_s=3.0, seed=77
             )
         )
-        real_build = runner_mod.build_replay_trace
+        real_source = runner_mod.TraceFileSource
 
-        def rewriting_build(config):
-            requests = real_build(config)
-            export_trace(other, config.path)  # concurrent rewrite mid-run
-            return requests
+        class RewritingSource(real_source):
+            # The replay streams its records incrementally; rewrite the
+            # file the moment the stream ends, while the simulation of
+            # the old content is still in flight.
+            def __iter__(self):
+                yield from super().__iter__()
+                export_trace(other, self.config.path)
 
-        monkeypatch.setattr(runner_mod, "build_replay_trace", rewriting_build)
+        monkeypatch.setattr(runner_mod, "TraceFileSource", RewritingSource)
         run_replay(small_trace, "fcfs", SMALL_REPLAY)
-        monkeypatch.setattr(runner_mod, "build_replay_trace", real_build)
+        monkeypatch.setattr(runner_mod, "TraceFileSource", real_source)
 
         new_key = cell_key(ReplayCell(small_trace, "fcfs", SMALL_REPLAY))
         assert store.load(new_key, "replay") is None

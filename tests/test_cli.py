@@ -207,6 +207,167 @@ class TestPoolKnob:
         assert "tiered-express" in captured.out
 
 
+class TestServe:
+    def test_serve_streams_events_and_summarizes(self, tiny_trace, capsys):
+        rc = main(["serve", "--trace", tiny_trace, "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "admit" in captured.out
+        assert "first-token" in captured.out
+        assert "complete" in captured.out
+        assert "served 8 requests (0 rejected)" in captured.out
+        assert "under pascal" in captured.out
+
+    def test_serve_quiet_prints_only_summary(self, tiny_trace, capsys):
+        rc = main(["serve", "--trace", tiny_trace, "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "admit" not in captured.out
+        assert "served 8 requests" in captured.out
+
+    def test_serve_admit_max_rejects_and_accounts(self, tiny_trace, capsys):
+        rc = main(
+            ["serve", "--trace", tiny_trace, "--quiet", "--admit-max", "1"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        # 8 submitted = completed + rejected; with a 1-deep gate on this
+        # bursty trace, at least one arrival must have been turned away.
+        assert "rejected)" in captured.out
+        assert "(0 rejected)" not in captured.out
+
+    def test_serve_without_trace_exits_2(self, capsys):
+        rc = main(["serve"])
+        assert rc == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_serve_unknown_policy_exits_2(self, tiny_trace, capsys):
+        rc = main(["serve", "--trace", tiny_trace, "--policy", "nope"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        err_lines = [l for l in captured.err.splitlines() if l.strip()]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("serve:")
+
+    def test_serve_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["serve", "--trace", str(tmp_path / "none.jsonl")])
+        assert rc == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_serve_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format": "pascal-trace", "version": 1}\nnope\n')
+        rc = main(["serve", "--trace", str(bad), "--quiet"])
+        assert rc == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+
+class TestImportTrace:
+    def test_import_then_replay_round_trip(self, tmp_path, capsys):
+        log = tmp_path / "log.jsonl"
+        log.write_text(
+            json.dumps(
+                {
+                    "arrival_time": 12.0,
+                    "num_prompt_tokens": 9,
+                    "num_generated_tokens": 7,
+                    "num_reasoning_tokens": 3,
+                }
+            )
+            + "\n"
+        )
+        out = tmp_path / "trace.jsonl"
+        rc = main(
+            [
+                "import-trace",
+                "--format",
+                "vllm",
+                "--input",
+                str(log),
+                "--output",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "imported 1/1 requests (vllm)" in captured.out
+        rc = main(["serve", "--trace", str(out), "--quiet"])
+        assert rc == 0
+        assert "served 1 requests" in capsys.readouterr().out
+
+    def test_import_missing_args_exits_2(self, capsys):
+        rc = main(["import-trace", "--format", "vllm"])
+        assert rc == 2
+        assert "--input" in capsys.readouterr().err
+
+    def test_import_strict_failure_exits_2(self, tmp_path, capsys):
+        log = tmp_path / "log.jsonl"
+        log.write_text("garbage\n")
+        rc = main(
+            [
+                "import-trace",
+                "--format",
+                "openai",
+                "--input",
+                str(log),
+                "--output",
+                str(tmp_path / "out.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "log.jsonl:1" in capsys.readouterr().err
+
+    def test_import_skip_malformed_reports_but_succeeds(
+        self, tmp_path, capsys
+    ):
+        log = tmp_path / "log.jsonl"
+        log.write_text(
+            "garbage\n"
+            + json.dumps(
+                {
+                    "created": 5,
+                    "usage": {"prompt_tokens": 4, "completion_tokens": 6},
+                }
+            )
+            + "\n"
+        )
+        out = tmp_path / "out.jsonl"
+        rc = main(
+            [
+                "import-trace",
+                "--format",
+                "openai",
+                "--input",
+                str(log),
+                "--output",
+                str(out),
+                "--skip-malformed",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "imported 1/2" in captured.out
+        assert "skipped 1 malformed" in captured.err
+
+    def test_import_all_malformed_exits_2(self, tmp_path, capsys):
+        log = tmp_path / "log.jsonl"
+        log.write_text("garbage\n")
+        rc = main(
+            [
+                "import-trace",
+                "--format",
+                "openai",
+                "--input",
+                str(log),
+                "--output",
+                str(tmp_path / "out.jsonl"),
+                "--skip-malformed",
+            ]
+        )
+        assert rc == 2
+        assert "no importable requests" in capsys.readouterr().err
+
+
 class TestMaxBytesPrune:
     def test_prune_with_budget_reports_it(self, tmp_path, capsys):
         rc = main(
