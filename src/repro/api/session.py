@@ -342,15 +342,33 @@ class ServingSession:
             # per event) — this is the figure harness's hot path.
             before = engine.events_processed
             engine.run()
+            self.cluster.sync_instances()
             return engine.events_processed - before
         processed = 0
+        cutoff: float | None = None
+        inclusive = False
         while max_events is None or processed < max_events:
             next_t = engine.peek_next_time()
-            if next_t is None or (until is not None and next_t > until):
+            if next_t is None:
+                break
+            if until is not None and next_t > until:
+                # Single-stepping dispatches everything at t <= until,
+                # including the per-token events an epoch coalesced away.
+                cutoff, inclusive = min(until, engine.horizon_s), True
                 break
             if not engine.step():
+                cutoff, inclusive = engine.horizon_s, True
                 break  # beyond the engine horizon
             processed += 1
+        else:
+            cutoff, inclusive = engine.now, False  # max_events exhausted
+        # Emit lazily-deferred decode-epoch tokens so every accessor sees
+        # a consistent frozen snapshot between step() calls.
+        if cutoff is None:
+            self.cluster.sync_instances()
+        else:
+            for inst in self.cluster.instances:
+                inst.sync(cutoff, inclusive)
         return processed
 
     def drain(self) -> RunMetrics:
@@ -362,6 +380,7 @@ class ServingSession:
         law ``submitted == completed + rejected``.
         """
         self.cluster.engine.run()
+        self.cluster.sync_instances()
         if not self.cluster.all_finished():
             raise RuntimeError(
                 f"session did not drain: {self.n_completed} completed + "

@@ -9,19 +9,39 @@ and written as a versioned ``BENCH_<date>.json`` perf-trajectory artifact:
 
     {
       "format": "pascal-bench",
-      "version": 1,
+      "version": 2,
       "created": "2026-07-31T12:00:00Z",
       "fingerprint": "<simulator code fingerprint>",
       "python": "3.12.3",
       "platform": "Linux-...",
       "config": {"n_requests": 240, "rate_per_s": 2.5, "seed": 11},
       "benchmarks": [
-        {"name": "fig9.sim.fcfs", "wall_s": 1.9, "events": 81234,
-         "events_per_s": 42000.0, "requests": 240},
+        {"name": "fig9.sim.fcfs", "wall_s": 0.2, "events": 1531,
+         "events_per_s": 7600.0, "requests": 240,
+         "requests_per_s": 1200.0, "epoch_coalescing": true},
+        {"name": "fig9.sim.fcfs.noepoch", "wall_s": 0.7, "events": 48063,
+         "events_per_s": 68000.0, "requests": 240,
+         "requests_per_s": 340.0, "epoch_coalescing": false},
         {"name": "eventqueue.heapq", "ops": 160000,
          "best_wall_s": 0.05, "ops_per_s": 3200000.0, "repeats": 3}
-      ]
+      ],
+      "profile": {
+        "target": "fig9.sim.fcfs",
+        "top": [
+          {"func": "instance.py:310:maybe_start_step", "ncalls": 1531,
+           "tottime_s": 0.04, "cumtime_s": 0.11}
+        ]
+      }
     }
+
+Version 2 additions: every ``fig9.sim.*`` entry carries ``requests_per_s``
+(the requests/s/core figure of merit — the suite is single-process, so
+per-process is per-core) and ``epoch_coalescing``; each policy also gets a
+``.noepoch`` twin timed with decode-epoch coalescing disabled, an in-file
+A/B of the fast path against the pre-epoch stepping it replaced.  The
+optional ``profile`` section (``bench --profile``) holds the top-N
+cumulative-time rows of a cProfile pass over a dedicated (untimed) fcfs
+run, so the next optimization round is evidence-led.
 
 The workload is deterministic (fixed seed, fixed arrival rate — no
 capacity probe, so the benchmark measures the simulator, not the
@@ -31,9 +51,11 @@ commits of equal config.
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
 import platform
+import pstats
 import time
 
 from repro.bench.eventqueue import bench_queue_replay, record_ops
@@ -44,14 +66,21 @@ from repro.workload.datasets import ALPACA_EVAL
 from repro.workload.trace import TraceConfig, build_trace
 
 BENCH_FORMAT = "pascal-bench"
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 #: Policies timed on the fig9 hot path: the paper's baseline and PASCAL.
 BENCH_POLICIES = ("fcfs", "pascal")
 
+#: Rows kept from a cProfile pass (sorted by cumulative time).
+PROFILE_TOP_N = 15
 
-def _bench_cluster(n_instances: int = 8) -> ClusterConfig:
-    instance = InstanceConfig(kv_capacity_tokens=60000)
+
+def _bench_cluster(
+    n_instances: int = 8, epoch_coalescing: bool = True
+) -> ClusterConfig:
+    instance = InstanceConfig(
+        kv_capacity_tokens=60000, epoch_coalescing=epoch_coalescing
+    )
     return ClusterConfig(n_instances=n_instances, instance=instance)
 
 
@@ -60,6 +89,7 @@ def _run_fig9_sim(
     n_requests: int,
     rate_per_s: float,
     seed: int,
+    epoch_coalescing: bool = True,
 ) -> dict:
     """One timed Figure-9-style run (fixed rate; no calibration probe)."""
     trace = build_trace(
@@ -70,7 +100,9 @@ def _run_fig9_sim(
             seed=seed,
         )
     )
-    cluster = Cluster(_bench_cluster(), policy=policy)
+    cluster = Cluster(
+        _bench_cluster(epoch_coalescing=epoch_coalescing), policy=policy
+    )
     start = time.perf_counter()
     cluster.run_trace(trace)
     wall = time.perf_counter() - start
@@ -82,7 +114,52 @@ def _run_fig9_sim(
             cluster.engine.events_processed / wall if wall > 0 else 0.0
         ),
         "requests": len(cluster.completed),
+        "requests_per_s": len(cluster.completed) / wall if wall > 0 else 0.0,
+        "epoch_coalescing": epoch_coalescing,
     }
+
+
+def profile_fig9(
+    n_requests: int,
+    rate_per_s: float,
+    seed: int,
+    top_n: int = PROFILE_TOP_N,
+) -> dict:
+    """cProfile the fcfs fig9 run; return the BENCH ``profile`` section.
+
+    A dedicated run, separate from the timed entries — the profiler's
+    tracing overhead would contaminate the wall-clock trajectory.
+    """
+    trace = build_trace(
+        TraceConfig(
+            dataset=ALPACA_EVAL,
+            n_requests=n_requests,
+            arrival_rate_per_s=rate_per_s,
+            seed=seed,
+        )
+    )
+    cluster = Cluster(_bench_cluster(), policy="fcfs")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cluster.run_trace(trace)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    ranked = sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    )
+    for (filename, lineno, name), (_, ncalls, tottime, cumtime, _) in ranked[
+        :top_n
+    ]:
+        rows.append(
+            {
+                "func": f"{os.path.basename(filename)}:{lineno}:{name}",
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return {"target": "fig9.sim.fcfs", "top": rows}
 
 
 def run_suite(
@@ -90,20 +167,36 @@ def run_suite(
     rate_per_s: float = 2.5,
     seed: int = 11,
     repeats: int = 3,
+    profile: bool = False,
+    epoch_coalescing: bool = True,
 ) -> dict:
-    """Run every benchmark and return the BENCH JSON document."""
+    """Run every benchmark and return the BENCH JSON document.
+
+    ``epoch_coalescing=False`` (the ``--no-epoch`` escape hatch) times the
+    primary entries with the fast path off; when it is on (the default)
+    each policy additionally gets a ``.noepoch`` baseline entry so every
+    artifact carries its own fast-path A/B.
+    """
     benchmarks: list[dict] = []
     for policy in BENCH_POLICIES:
-        run = _run_fig9_sim(policy, n_requests, rate_per_s, seed)
-        benchmarks.append(
-            {
-                "name": f"fig9.sim.{policy}",
-                "wall_s": run["wall_s"],
-                "events": run["events"],
-                "events_per_s": run["events_per_s"],
-                "requests": run["requests"],
-            }
-        )
+        variants = [(f"fig9.sim.{policy}", epoch_coalescing)]
+        if epoch_coalescing:
+            variants.append((f"fig9.sim.{policy}.noepoch", False))
+        for name, coalesce in variants:
+            run = _run_fig9_sim(
+                policy, n_requests, rate_per_s, seed, epoch_coalescing=coalesce
+            )
+            benchmarks.append(
+                {
+                    "name": name,
+                    "wall_s": run["wall_s"],
+                    "events": run["events"],
+                    "events_per_s": run["events_per_s"],
+                    "requests": run["requests"],
+                    "requests_per_s": run["requests_per_s"],
+                    "epoch_coalescing": coalesce,
+                }
+            )
 
     # Record the exact op stream the fcfs run issues, then replay it
     # through each queue candidate (heapq vs bucket).
@@ -123,7 +216,7 @@ def run_suite(
     ops = record_ops(drive)
     benchmarks.extend(bench_queue_replay(ops, repeats=repeats))
 
-    return {
+    doc = {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -135,9 +228,13 @@ def run_suite(
             "rate_per_s": rate_per_s,
             "seed": seed,
             "repeats": repeats,
+            "epoch_coalescing": epoch_coalescing,
         },
         "benchmarks": benchmarks,
     }
+    if profile:
+        doc["profile"] = profile_fig9(n_requests, rate_per_s, seed)
+    return doc
 
 
 def render_suite(result: dict) -> str:
@@ -164,12 +261,25 @@ def render_suite(result: dict) -> str:
                     bench["events_per_s"],
                 ]
             )
-    return render_table(
+    table = render_table(
         ["benchmark", "wall_s", "events/ops", "rate_per_s"],
         rows,
         title=f"[bench] simulator perf trajectory "
         f"(fingerprint {result['fingerprint']})",
     )
+    profile = result.get("profile")
+    if profile:
+        prof_rows = [
+            [row["func"], row["ncalls"], row["tottime_s"], row["cumtime_s"]]
+            for row in profile["top"]
+        ]
+        table += "\n" + render_table(
+            ["function", "ncalls", "tottime_s", "cumtime_s"],
+            prof_rows,
+            title=f"[bench] cProfile top-{len(prof_rows)} by cumulative "
+            f"time ({profile['target']})",
+        )
+    return table
 
 
 def write_bench_json(result: dict, out: str | os.PathLike | None = None) -> str:

@@ -153,6 +153,10 @@ class Cluster:
     # event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, req: Request) -> None:
+        # Admission and placement read the cluster-wide census; catch
+        # every instance's lazily-emitted decode epoch up to now first.
+        for inst in self.instances:
+            inst.sync(now)
         self.pending_arrivals -= 1
         if self.admission is not None:
             decision = self.admission.decide(self, req, now)
@@ -184,6 +188,9 @@ class Cluster:
         self, req: Request, src: ServingInstance, now: float
     ) -> None:
         """A request just emitted its end-of-think token on ``src``."""
+        # Transition routing reads the cluster-wide census (Algorithm 2).
+        for inst in self.instances:
+            inst.sync(now)
         self.policy.on_phase_transition(req, src, now)
         # Fire after routing, so subscribers observe the post-decision
         # state (MIGRATING vs re-enqueued locally).
@@ -250,9 +257,27 @@ class Cluster:
             self.pending_arrivals += 1
             yield req.arrival_t, EventKind.ARRIVAL, req
 
+    def sync_instances(self) -> None:
+        """Emit every instance's lazily-deferred epoch steps due by now.
+
+        After a horizon stop, epoch events beyond the horizon will never
+        dispatch even though some of their steps complete inside it —
+        catch those up inclusively, exactly as single-stepping would have
+        dispatched them.  Mid-run (events still pending) the cutoff is
+        the current clock, strictly before, matching event order.
+        """
+        next_t = self.engine.peek_next_time()
+        if next_t is None or next_t > self.engine.horizon_s:
+            cutoff, inclusive = self.engine.horizon_s, True
+        else:
+            cutoff, inclusive = self.engine.now, False
+        for inst in self.instances:
+            inst.sync(cutoff, inclusive)
+
     def run(self) -> list[Request]:
         """Drain the simulation; returns the completed requests."""
         self.engine.run()
+        self.sync_instances()
         return self.completed
 
     def run_trace(self, requests: list[Request]) -> list[Request]:

@@ -78,6 +78,10 @@ class MigrationManager:
     def on_transfer_complete(self, now: float, record: MigrationRecord) -> None:
         """The copy landed: free the source pool, admit at the destination."""
         req = record.request
+        # Both pools are about to be mutated and re-read; emit any decode
+        # tokens the instances lazily deferred before this moment.
+        record.source.sync(now)
+        record.destination.sync(now)
         record.source.pool.release(req)
         record.source.mark_dirty()
         record.source.maybe_start_step(now)

@@ -116,6 +116,12 @@ class InstanceConfig:
     kv_capacity_tokens: int | None = None
     #: CPU-side KV pool for swapped-out requests (256 GB DDR5 by default).
     cpu_kv_bytes: float = 256e9
+    #: Coalesce clean decode steps into multi-token epochs (one
+    #: ``STEP_COMPLETE`` event per epoch, per-token timestamps computed
+    #: analytically).  Equivalent to single-stepping — see
+    #: ``repro.serving.instance`` — and on by default; ``False`` forces
+    #: one event per token (the ``--no-epoch`` A/B escape hatch).
+    epoch_coalescing: bool = True
 
     def gpu_kv_tokens(self) -> int:
         """GPU KV capacity in tokens, honouring the explicit override."""

@@ -182,6 +182,18 @@ def _parser() -> argparse.ArgumentParser:
         metavar="N",
         help="best-of repeats for the queue replays (default: 3)",
     )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the fig9 hot path and embed the top-N "
+        "cumulative-time table as the BENCH json `profile` section",
+    )
+    bench.add_argument(
+        "--no-epoch",
+        action="store_true",
+        help="time the fig9 runs with decode-epoch coalescing disabled "
+        "(A/B escape hatch; the fast path is on by default)",
+    )
     replay = parser.add_argument_group("trace replay (trace-compare)")
     replay.add_argument(
         "--trace",
@@ -567,7 +579,10 @@ def _run_bench(args) -> int:
     from repro.bench.suite import render_suite
 
     result = run_suite(
-        n_requests=args.bench_requests, repeats=args.bench_repeats
+        n_requests=args.bench_requests,
+        repeats=args.bench_repeats,
+        profile=args.profile,
+        epoch_coalescing=not args.no_epoch,
     )
     print(render_suite(result))
     try:

@@ -38,6 +38,7 @@ served stale.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass, field
@@ -379,7 +380,16 @@ def _probe_rate(
         )
     probe = sample_trace(dataset, probe_requests, arrivals, streams)
     mean_decode = sum(r.total_decode_tokens for r in probe) / len(probe)
-    cluster = Cluster(settings.cluster_config(), policy="fcfs")
+    # The slope is sampled every N *engine events* mid-run, so the probe
+    # must step token-by-token: decode-epoch coalescing collapses the
+    # event stream and would shift every sample point (and undercount
+    # tokens still inside an in-flight epoch), changing the measured
+    # capacity that anchors every figure's arrival-rate tiers.
+    config = settings.cluster_config()
+    config = config.with_instance(
+        dataclasses.replace(config.instance, epoch_coalescing=False)
+    )
+    cluster = Cluster(config, policy="fcfs")
     _count_simulation()
     cluster.submit(probe)
     samples: list[tuple[float, int]] = []

@@ -39,6 +39,13 @@ class KVPool:
         self.peak_gpu_used_blocks = 0
         #: rid -> (tokens, on_gpu); authoritative residency registry.
         self._residency: dict[int, tuple[int, bool]] = {}
+        #: Running token totals per residency side.  The registry stays
+        #: authoritative; these counters make ``gpu_used_tokens`` /
+        #: ``cpu_used_tokens`` / ``total_kv_tokens`` O(1) for the
+        #: placement and monitor queries that fire on every arrival and
+        #: phase transition.  ``check_invariants`` cross-checks them.
+        self._gpu_tokens = 0
+        self._cpu_tokens = 0
 
     def _note_gpu_usage(self) -> None:
         if self.gpu_used_blocks > self.peak_gpu_used_blocks:
@@ -65,14 +72,14 @@ class KVPool:
         return self.gpu_free_blocks() * self.block_size
 
     def gpu_used_tokens(self) -> int:
-        return sum(t for t, on_gpu in self._residency.values() if on_gpu)
+        return self._gpu_tokens
 
     def cpu_used_tokens(self) -> int:
-        return sum(t for t, on_gpu in self._residency.values() if not on_gpu)
+        return self._cpu_tokens
 
     def total_kv_tokens(self) -> int:
         """GPU + CPU footprint: the ``m_i`` input of Algorithm 1."""
-        return sum(t for t, _ in self._residency.values())
+        return self._gpu_tokens + self._cpu_tokens
 
     def can_allocate_gpu(self, tokens: int) -> bool:
         return self.blocks_for(tokens) <= self.gpu_free_blocks()
@@ -100,10 +107,12 @@ class KVPool:
                 )
             self.gpu_used_blocks += blocks
             self._note_gpu_usage()
+            self._gpu_tokens += tokens
         else:
             if blocks > self.cpu_capacity_blocks - self.cpu_used_blocks:
                 raise OutOfMemoryError("CPU pool full")
             self.cpu_used_blocks += blocks
+            self._cpu_tokens += tokens
         self._residency[req.rid] = (tokens, on_gpu)
         req.kv_tokens = tokens
         req.on_gpu = on_gpu
@@ -124,8 +133,55 @@ class KVPool:
             raise OutOfMemoryError("GPU pool full during growth")
         self.gpu_used_blocks += delta_blocks
         self._note_gpu_usage()
+        self._gpu_tokens += n_tokens
         self._residency[req.rid] = (new_tokens, True)
         req.kv_tokens = new_tokens
+
+    def grow_all(self, requests: list[Request], crossing_blocks: int) -> None:
+        """Grow every request by one token in a single accounting pass.
+
+        The decode fast path (``ServingInstance._begin_step``) knows, from
+        the plan's crossing histogram, exactly how many block boundaries
+        this step crosses — so the per-request ``blocks_for`` arithmetic of
+        :meth:`grow` collapses to one counter update plus a registry write
+        per request.  Every request must be GPU-resident (a decode plan
+        only ever batches resident requests).
+        """
+        if crossing_blocks:
+            if crossing_blocks > self.gpu_free_blocks():
+                raise OutOfMemoryError("GPU pool full during growth")
+            self.gpu_used_blocks += crossing_blocks
+            self._note_gpu_usage()
+        self._gpu_tokens += len(requests)
+        residency = self._residency
+        for req in requests:
+            tokens = req.kv_tokens + 1
+            req.kv_tokens = tokens
+            residency[req.rid] = (tokens, True)
+
+    def grow_all_n(
+        self, requests: list[Request], n_steps: int, crossing_blocks: int
+    ) -> None:
+        """Grow every request by ``n_steps`` tokens in one accounting pass.
+
+        The bulk form of :meth:`grow_all`, used when the decode fast path
+        emits a run of milestone-free steps at once.  ``crossing_blocks``
+        is the total over all ``n_steps`` steps (the caller walks the
+        plan's crossing histogram); the horizon computation already
+        reserved the budget, so exceeding free blocks indicates a caller
+        bug, not backpressure.
+        """
+        if crossing_blocks:
+            if crossing_blocks > self.gpu_free_blocks():
+                raise OutOfMemoryError("GPU pool full during growth")
+            self.gpu_used_blocks += crossing_blocks
+            self._note_gpu_usage()
+        self._gpu_tokens += n_steps * len(requests)
+        residency = self._residency
+        for req in requests:
+            tokens = req.kv_tokens + n_steps
+            req.kv_tokens = tokens
+            residency[req.rid] = (tokens, True)
 
     def can_grow(self, req: Request, n_tokens: int = 1) -> bool:
         entry = self._residency.get(req.rid)
@@ -148,6 +204,8 @@ class KVPool:
             raise OutOfMemoryError("CPU pool full; cannot swap out")
         self.gpu_used_blocks -= blocks
         self.cpu_used_blocks += blocks
+        self._gpu_tokens -= tokens
+        self._cpu_tokens += tokens
         self._residency[req.rid] = (tokens, False)
         req.on_gpu = False
         return tokens
@@ -166,6 +224,8 @@ class KVPool:
         self.cpu_used_blocks -= blocks
         self.gpu_used_blocks += blocks
         self._note_gpu_usage()
+        self._cpu_tokens -= tokens
+        self._gpu_tokens += tokens
         self._residency[req.rid] = (tokens, True)
         req.on_gpu = True
         return tokens
@@ -179,8 +239,10 @@ class KVPool:
         blocks = self.blocks_for(tokens)
         if on_gpu:
             self.gpu_used_blocks -= blocks
+            self._gpu_tokens -= tokens
         else:
             self.cpu_used_blocks -= blocks
+            self._cpu_tokens -= tokens
         req.kv_tokens = 0
         req.on_gpu = False
         return tokens
@@ -189,7 +251,7 @@ class KVPool:
     # invariants (exercised by property tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Internal consistency: registry totals match the block counters."""
+        """Internal consistency: registry totals match the running counters."""
         gpu_blocks = sum(
             self.blocks_for(t) for t, on_gpu in self._residency.values() if on_gpu
         )
@@ -198,6 +260,20 @@ class KVPool:
             for t, on_gpu in self._residency.values()
             if not on_gpu
         )
+        gpu_tokens = sum(t for t, on_gpu in self._residency.values() if on_gpu)
+        cpu_tokens = sum(
+            t for t, on_gpu in self._residency.values() if not on_gpu
+        )
+        if gpu_tokens != self._gpu_tokens:
+            raise AssertionError(
+                f"GPU token-counter drift: registry={gpu_tokens} "
+                f"counter={self._gpu_tokens}"
+            )
+        if cpu_tokens != self._cpu_tokens:
+            raise AssertionError(
+                f"CPU token-counter drift: registry={cpu_tokens} "
+                f"counter={self._cpu_tokens}"
+            )
         if gpu_blocks != self.gpu_used_blocks:
             raise AssertionError(
                 f"GPU block leak: registry={gpu_blocks} "

@@ -41,15 +41,37 @@ class StepKind(Enum):
 
 @dataclass
 class StepPlan:
-    """What the instance executes next."""
+    """What the instance executes next.
+
+    A decode plan carries *incremental* bookkeeping so the per-step hot
+    loop never re-derives batch aggregates: ``kv_total`` is the batch's
+    summed KV footprint (advanced by ``batch_size`` per decode step) and
+    ``crossing_counts[s % block_size]`` is the number of requests whose
+    cache crosses a block boundary on the plan's ``s``-th growth step —
+    valid for the plan's whole life because a reused decode plan grows
+    every member by exactly one token per step.  ``steps_taken`` counts
+    growth steps applied under this plan.
+    """
 
     kind: StepKind
     requests: list[Request] = field(default_factory=list)
     prefill_tokens: int = 0
+    kv_total: int = 0
+    crossing_counts: list[int] = field(default_factory=list)
+    steps_taken: int = 0
 
     @property
     def batch_size(self) -> int:
         return len(self.requests)
+
+    def prepare_decode(self, block_size: int) -> None:
+        """Snapshot the decode aggregates from the batch's current state."""
+        self.kv_total = sum(r.kv_tokens for r in self.requests)
+        counts = [0] * block_size
+        for r in self.requests:
+            counts[-r.kv_tokens % block_size] += 1
+        self.crossing_counts = counts
+        self.steps_taken = 0
 
 
 class IntraScheduler:
@@ -189,4 +211,6 @@ class IntraScheduler:
         decodes = [r for r in batch if r.prefill_done]
         if not decodes:
             return StepPlan(StepKind.IDLE)
-        return StepPlan(StepKind.DECODE, decodes)
+        plan = StepPlan(StepKind.DECODE, decodes)
+        plan.prepare_decode(pool.block_size)
+        return plan

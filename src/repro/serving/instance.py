@@ -11,10 +11,29 @@ steps until something scheduling-relevant happens (arrival, completion,
 phase transition, quantum expiry, migration, or the KV pool running out of
 growth room).  Clean steps therefore cost O(batch size), which is what
 makes cluster-scale experiments tractable in pure Python.
+
+**Decode-epoch coalescing.**  A clean decode plan is deterministic for a
+provable horizon: nothing observable changes until some batched request
+reaches a milestone (phase flip, completion, quantum expiry, its first
+answering token) or cumulative block-boundary crossings exhaust the free
+GPU pool.  Instead of paying one ``STEP_COMPLETE`` event per token, the
+instance schedules a single event at the horizon's end and computes every
+intermediate step time analytically (:class:`_DecodeEpoch`) — the same
+iterated ``decode_step_seconds`` sums, in the same order, so timestamps
+are bit-identical to single-stepping.  Per-token effects are *lazily
+emitted*: :meth:`ServingInstance.sync` catches an instance up to the
+present, and every cross-instance read or mutation point (placement
+census, monitor queries, migration landings) syncs first, so no observer
+can see mid-epoch staleness.  Milestones land, by construction, on an
+epoch's final step, which is dispatched as a real event — lifecycle hooks
+therefore fire at true simulated times in globally sorted order, exactly
+as with one event per token.  ``InstanceConfig.epoch_coalescing=False``
+(the ``--no-epoch`` escape hatch) caps every epoch at one step.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Callable
 
 from repro.config import InstanceConfig
@@ -28,6 +47,31 @@ from repro.workload.request import Phase, ReqState, Request
 #: Callback signatures the cluster wires up.
 TransitionHook = Callable[[Request, "ServingInstance", float], None]
 CompletionHook = Callable[[Request, float], None]
+
+
+class _DecodeEpoch:
+    """One in-flight coalesced decode run: N analytically-timed steps.
+
+    ``times[j]`` / ``latencies[j]`` are the completion time and duration
+    of the epoch's ``j``-th step.  ``started`` counts steps whose KV
+    growth and accounting have been applied, ``emitted`` counts steps
+    whose tokens have been recorded; between them sits exactly one
+    *in-flight* step (``started == emitted + 1``), mirroring the
+    single-step engine where growth happens at step start and tokens
+    appear at step end.  ``event`` is the pending ``STEP_COMPLETE`` at
+    ``times[-1]`` (replaced when a mid-epoch dirtying event truncates
+    the run down to its in-flight step).
+    """
+
+    __slots__ = ("plan", "times", "latencies", "event", "started", "emitted")
+
+    def __init__(self, plan: StepPlan, times, latencies, event):
+        self.plan = plan
+        self.times: list[float] = times
+        self.latencies: list[float] = latencies
+        self.event = event
+        self.started = 0
+        self.emitted = 0
 
 
 class ServingInstance:
@@ -55,6 +99,12 @@ class ServingInstance:
         self.overhead_s = 0.0
         self._dirty = True
         self._plan: StepPlan | None = None
+        self._epoch: _DecodeEpoch | None = None
+        self._emitting = False
+        #: Running total of ``full_kv_tokens`` over admitted-but-unallocated
+        #: requests (O(1) :meth:`pending_kv_tokens`); a pending request
+        #: cannot generate, so its footprint is constant while counted.
+        self._pending_kv = 0
 
         #: Wired by the cluster; default no-ops keep the instance standalone.
         self.on_transition: TransitionHook = lambda req, inst, now: None
@@ -80,14 +130,17 @@ class ServingInstance:
     # ------------------------------------------------------------------
     def admit(self, req: Request, now: float) -> None:
         """A new request was routed here by the instance-level scheduler."""
+        self.sync(now)
         req.instance_id = self.iid
         self.requests.add(req)
+        self._pending_kv += req.full_kv_tokens
         self.scheduler.on_admit(req, now)
         self.mark_dirty()
         self.maybe_start_step(now)
 
     def accept_migrated(self, req: Request, now: float) -> None:
         """A phase-transitioned request's KV cache finished arriving."""
+        self.sync(now)
         req.instance_id = self.iid
         tokens = req.full_kv_tokens
         on_gpu = self.pool.can_allocate_gpu(tokens)
@@ -101,12 +154,22 @@ class ServingInstance:
     def depart(self, req: Request, now: float) -> None:
         """The request is migrating away; KV is released by the migration
         manager once the transfer lands."""
+        self.sync(now)
         req.set_state(ReqState.MIGRATING, now)
         self.requests.discard(req)
+        if not self.pool.holds(req):
+            self._pending_kv -= req.full_kv_tokens
         self.mark_dirty()
 
     def mark_dirty(self) -> None:
         self._dirty = True
+        if self._epoch is not None and not self._emitting:
+            # Something scheduling-relevant happened mid-epoch: the
+            # remaining steps are no longer valid.  Keep the in-flight
+            # step (its growth is already applied, exactly as a
+            # single-step engine would have) and cut the rest.
+            self.sync()
+            self._truncate_epoch()
 
     # ------------------------------------------------------------------
     # residency mechanics (called by schedulers during form_batch)
@@ -114,6 +177,7 @@ class ServingInstance:
     def do_allocate(self, req: Request, now: float) -> None:
         """First admission to GPU memory (prompt KV reservation)."""
         self.pool.allocate(req, req.full_kv_tokens, on_gpu=True)
+        self._pending_kv -= req.full_kv_tokens
         if req.skip_prefill and not req.prefill_done:
             # Figure 5 workload: the KV exists already; no prefill compute.
             req.prefill_done = True
@@ -142,29 +206,43 @@ class ServingInstance:
         dogpile simultaneous arrivals onto whichever instance reports the
         smallest allocated footprint.
         """
-        return sum(
-            r.full_kv_tokens
-            for r in self.requests
-            if not r.finished and not self.pool.holds(r)
-        )
+        return self._pending_kv
 
     def total_kv_tokens(self) -> int:
         """``m_i``: total KV footprint, GPU plus CPU plus queued demand
         (Algorithm 1's load proxy)."""
-        return self.pool.total_kv_tokens() + self.pending_kv_tokens()
+        self.sync()
+        return self.pool.total_kv_tokens() + self._pending_kv
 
     def gpu_free_tokens(self) -> int:
+        self.sync()
         return self.pool.gpu_free_tokens()
 
     def live_requests(self) -> list[Request]:
+        self.sync()
         return [r for r in self.requests if not r.finished]
+
+    def check_invariants(self) -> None:
+        """Running counters vs authoritative registries (property tests)."""
+        self.sync()
+        self.pool.check_invariants()
+        pending = sum(
+            r.full_kv_tokens
+            for r in self.requests
+            if not r.finished and not self.pool.holds(r)
+        )
+        if pending != self._pending_kv:
+            raise AssertionError(
+                f"instance {self.iid} pending-KV drift: "
+                f"registry={pending} counter={self._pending_kv}"
+            )
 
     # ------------------------------------------------------------------
     # step loop
     # ------------------------------------------------------------------
     def maybe_start_step(self, now: float) -> None:
         """Begin the next engine step unless one is already in flight."""
-        if self.busy:
+        if self.busy or self._emitting:
             return
         plan = self._plan
         if self._dirty or plan is None:
@@ -182,46 +260,272 @@ class ServingInstance:
             self._check_livelock(now)
             return
 
-        # Reserve this step's tokens up front so concurrent migrations
-        # cannot consume the blocks mid-step.
-        for req in plan.requests:
-            self.pool.grow(req, 1)
-            if req.state != ReqState.RUNNING:
-                req.set_state(ReqState.RUNNING, now)
-            elif req.in_answering and req.answer_sched_t is None:
-                # Phase flipped mid-batch and the request kept its slot:
-                # its answering service starts with this step.
-                req.answer_sched_t = now
-
         if plan.kind == StepKind.PREFILL:
+            # Reserve this step's tokens up front so concurrent migrations
+            # cannot consume the blocks mid-step.
+            for req in plan.requests:
+                self.pool.grow(req, 1)
+                if req.state != ReqState.RUNNING:
+                    req.set_state(ReqState.RUNNING, now)
+                elif req.in_answering and req.answer_sched_t is None:
+                    req.answer_sched_t = now
             latency = self.perf.prefill_seconds(plan.prefill_tokens)
-        else:
-            kv_total = sum(r.kv_tokens for r in plan.requests)
-            latency = self.perf.decode_step_seconds(len(plan.requests), kv_total)
-        latency += self.overhead_s
+            latency += self.overhead_s
+            self.overhead_s = 0.0
+            self.busy = True
+            self.busy_time_s += latency
+            self.engine.schedule_in(latency, EventKind.STEP_COMPLETE, self)
+            return
+
+        # Decode: coalesce the provably-clean horizon into one epoch.
+        if not plan.crossing_counts:
+            plan.prepare_decode(self.pool.block_size)
+        horizon = self._decode_horizon(plan)
+        batch = len(plan.requests)
+        base = plan.kv_total
+        decode_seconds = self.perf.decode_step_seconds
+        overhead = self.overhead_s
         self.overhead_s = 0.0
+        t = now
+        times: list[float] = []
+        latencies: list[float] = []
+        # Identical float arithmetic to single-stepping: each step's
+        # latency is computed from the post-growth batch KV (exact ints)
+        # and accumulated in step order; swap overhead lands on the first
+        # step only (mid-epoch steps are clean by definition).
+        for j in range(1, horizon + 1):
+            latency = decode_seconds(batch, base + j * batch)
+            if j == 1:
+                latency += overhead
+            t += latency
+            times.append(t)
+            latencies.append(latency)
         self.busy = True
-        self.busy_time_s += latency
-        self.engine.schedule_in(latency, EventKind.STEP_COMPLETE, self)
+        event = self.engine.schedule(times[-1], EventKind.STEP_COMPLETE, self)
+        self._epoch = _DecodeEpoch(plan, times, latencies, event)
+        self._begin_step(0, now)
 
     def on_step_complete(self, now: float) -> None:
         """Finish the in-flight step: emit tokens, react to milestones."""
         self.busy = False
+        if self._epoch is not None:
+            self._finish_epoch()
+            self.maybe_start_step(now)
+            return
         plan = self._plan
-        if plan is None:  # pragma: no cover - defensive
-            raise RuntimeError(f"instance {self.iid}: step completed w/o plan")
-        if plan.kind == StepKind.PREFILL:
-            self.prefill_steps += 1
-            for req in plan.requests:
-                req.prefill_done = True
-                req.prefill_end_t = now
-                self._emit_token(req, now)
-            self.mark_dirty()
-        else:
-            self.decode_steps += 1
-            for req in plan.requests:
-                self._emit_token(req, now)
+        if plan is None or plan.kind != StepKind.PREFILL:
+            # pragma: no cover - defensive
+            raise RuntimeError(
+                f"instance {self.iid}: step completed without a prefill "
+                "plan or decode epoch"
+            )
+        self.prefill_steps += 1
+        for req in plan.requests:
+            req.prefill_done = True
+            req.prefill_end_t = now
+            self._emit_token(req, now)
+        self.mark_dirty()
         self.maybe_start_step(now)
+
+    # ------------------------------------------------------------------
+    # decode-epoch machinery
+    # ------------------------------------------------------------------
+    def sync(self, now: float | None = None, inclusive: bool = False) -> None:
+        """Lazily emit epoch steps that are already in the past.
+
+        Every cross-instance read or mutation entry point (placement
+        census, monitor queries, admissions, migration landings) calls
+        this first, so observers always see the exact state a single-step
+        engine would show at ``now``.  Strictly-before semantics match
+        event dispatch: a step completing at exactly ``now`` still has
+        its event queued and will be dispatched in due order.
+        ``inclusive`` is for horizon catch-up, where events at the cutoff
+        itself would have been dispatched before the engine stopped.
+        """
+        epoch = self._epoch
+        if epoch is None or self._emitting:
+            return
+        if now is None:
+            now = self.engine.now
+        times = epoch.times
+        n = len(times)
+        j = epoch.emitted
+        if j >= n:
+            return
+        if inclusive:
+            j1 = bisect_right(times, now, j)
+        else:
+            j1 = bisect_left(times, now, j)
+        if j1 <= j:
+            return
+        # Steps before the epoch's final one are milestone-free by
+        # horizon construction: advance them in bulk, then (only when
+        # the cutoff swallowed the final step — horizon catch-up) emit
+        # that one through the full per-token path, hooks and all.
+        last = min(j1, n - 1)
+        if last > j:
+            self._bulk_advance(j, last)
+        if j1 == n:
+            self._emit_step(n - 1)
+
+    def _begin_step(self, j: int, now: float | None = None) -> None:
+        """Apply step ``j``'s start-of-step effects (growth, accounting)."""
+        epoch = self._epoch
+        plan = epoch.plan
+        requests = plan.requests
+        self.pool.grow_all(
+            requests,
+            plan.crossing_counts[plan.steps_taken % self.pool.block_size],
+        )
+        plan.steps_taken += 1
+        plan.kv_total += len(requests)
+        if j == 0:
+            for req in requests:
+                if req.state != ReqState.RUNNING:
+                    req.set_state(ReqState.RUNNING, now)
+                elif req.in_answering and req.answer_sched_t is None:
+                    # Phase flipped mid-batch and the request kept its
+                    # slot: its answering service starts with this step.
+                    req.answer_sched_t = now
+        self.busy_time_s += epoch.latencies[j]
+        epoch.started = j + 1
+
+    def _emit_step(self, j: int) -> None:
+        """Record step ``j``'s tokens at its analytic completion time."""
+        epoch = self._epoch
+        now = epoch.times[j]
+        self.decode_steps += 1
+        self._emitting = True
+        try:
+            for req in epoch.plan.requests:
+                self._emit_token(req, now)
+        finally:
+            self._emitting = False
+        epoch.emitted = j + 1
+
+    def _finish_epoch(self) -> None:
+        """The epoch's final event fired: emit everything still owed."""
+        epoch = self._epoch
+        n = len(epoch.times)
+        j = epoch.emitted
+        if j < n:
+            if j < n - 1:
+                self._bulk_advance(j, n - 1)
+            self._emit_step(n - 1)
+        self._epoch = None
+
+    def _bulk_advance(self, j0: int, j1: int) -> None:
+        """Emit steps ``[j0, j1)`` and begin ``(j0, j1]`` in one pass.
+
+        Every step strictly before the epoch's final one carries no
+        milestone by horizon construction — no phase flip, completion,
+        first answering token, or quantum expiry — so its per-token
+        effects reduce to counter arithmetic and timestamp appends,
+        applied here as slice extends instead of ``batch`` calls per
+        step through :meth:`_emit_token`.
+        """
+        epoch = self._epoch
+        plan = epoch.plan
+        requests = plan.requests
+        k = j1 - j0
+        batch = len(requests)
+        block_size = self.pool.block_size
+        counts = plan.crossing_counts
+        s = plan.steps_taken
+        # Each full block_size-step cycle crosses exactly `batch` block
+        # boundaries (every request once); walk the histogram for the
+        # partial cycle.
+        cycles, rem = divmod(k, block_size)
+        crossings = cycles * batch
+        for i in range(rem):
+            crossings += counts[(s + i) % block_size]
+        self.pool.grow_all_n(requests, k, crossings)
+        plan.steps_taken = s + k
+        plan.kv_total += k * batch
+        latencies = epoch.latencies
+        for j in range(j0 + 1, j1 + 1):
+            # Scalar loop, not sum(): float accumulation order must stay
+            # bit-identical to the per-step path.
+            self.busy_time_s += latencies[j]
+        self.decode_steps += k
+        self.tokens_generated += k * batch
+        window = epoch.times[j0:j1]
+        token_log = self.token_log
+        for req in requests:
+            req.generated_tokens += k
+            req.quantum_used += k
+            if req.phase is not Phase.REASONING:
+                req.answer_token_times.extend(window)
+            if token_log is not None:
+                token_log.setdefault(req.rid, []).extend(window)
+        epoch.emitted = j1
+        epoch.started = j1 + 1
+
+    def _truncate_epoch(self) -> None:
+        """Cut the in-flight epoch down to its already-started step."""
+        epoch = self._epoch
+        keep = epoch.started  # emitted steps plus the one in flight
+        if keep >= len(epoch.times):
+            return  # already at the final step; the event stands
+        del epoch.times[keep:]
+        del epoch.latencies[keep:]
+        epoch.event.cancelled = True
+        epoch.event = self.engine.schedule(
+            epoch.times[-1], EventKind.STEP_COMPLETE, self
+        )
+
+    def _decode_horizon(self, plan: StepPlan) -> int:
+        """Steps the plan can run before any externally visible milestone.
+
+        The minimum over every batched request of: tokens to its phase
+        flip (reasoning) or completion (answering), tokens to quantum
+        expiry, and one token when its next token is its first answering
+        one (a lifecycle-hook milestone) — then capped by the number of
+        block-boundary crossings the free GPU pool can absorb.  Milestones
+        therefore always land on the epoch's *final* step, whose
+        ``STEP_COMPLETE`` is a real event dispatched at its true time.
+        """
+        if not self.config.epoch_coalescing:
+            return 1
+        quantum = self.scheduler.quantum_tokens
+        horizon: int | None = None
+        for r in plan.requests:
+            if r.phase is Phase.REASONING:
+                d = r.reasoning_len - r.generated_tokens
+            elif r.first_answer_t is None:
+                d = 1
+            else:
+                d = r.total_decode_tokens - r.generated_tokens
+            if quantum is not None:
+                q = quantum - r.quantum_used
+                if q < d:
+                    d = q
+            if horizon is None or d < horizon:
+                horizon = d
+        if horizon is None or horizon < 1:  # pragma: no cover - defensive
+            horizon = 1
+        # Block cap: each full block_size-step cycle grows the batch by
+        # exactly batch_size blocks; walk the crossing histogram for the
+        # partial cycle the remaining free blocks allow.
+        free = self.pool.gpu_free_blocks()
+        batch = len(plan.requests)
+        counts = plan.crossing_counts
+        block_size = self.pool.block_size
+        cycles, budget = divmod(free, batch)
+        cap = cycles * block_size
+        s = plan.steps_taken
+        while True:
+            crossing = counts[s % block_size]
+            if crossing > budget:
+                break
+            budget -= crossing
+            cap += 1
+            s += 1
+        if cap < horizon:
+            horizon = cap
+        if horizon < 1:
+            horizon = 1
+        return horizon
 
     # ------------------------------------------------------------------
     # internals
@@ -256,11 +560,16 @@ class ServingInstance:
 
     def _growth_feasible(self, plan: StepPlan) -> bool:
         """Can every batched request take one more token without a reform?"""
-        crossings = sum(
-            1
-            for r in plan.requests
-            if r.kv_tokens % self.pool.block_size == 0
-        )
+        if not plan.crossing_counts:  # hand-built plan (tests): O(B) scan
+            crossings = sum(
+                1
+                for r in plan.requests
+                if r.kv_tokens % self.pool.block_size == 0
+            )
+            return crossings <= self.pool.gpu_free_blocks()
+        crossings = plan.crossing_counts[
+            plan.steps_taken % self.pool.block_size
+        ]
         return crossings <= self.pool.gpu_free_blocks()
 
     def _check_livelock(self, now: float) -> None:

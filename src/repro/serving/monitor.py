@@ -48,6 +48,7 @@ class InstanceMonitor:
 
     def answering_slo_ok(self, inst: ServingInstance, now: float) -> bool:
         """``t_i``: True iff every answering request is keeping pace."""
+        inst.sync(now)
         for req in inst.requests:
             if req.finished or not req.in_answering:
                 continue
@@ -69,12 +70,14 @@ class InstanceMonitor:
         deployment would substitute a length predictor, as
         ``length-predictive`` does for placement.
         """
+        inst.sync()
         return sum(
             r.remaining_tokens for r in inst.requests if not r.finished
         )
 
     def reasoning_count(self, inst: ServingInstance) -> int:
         """``r_i``: requests currently in the high-priority queue."""
+        inst.sync()
         return sum(
             1
             for r in inst.requests
@@ -83,6 +86,7 @@ class InstanceMonitor:
 
     def fresh_answering_count(self, inst: ServingInstance) -> int:
         """``a_i``: answering requests not past their first quantum."""
+        inst.sync()
         return sum(
             1
             for r in inst.requests

@@ -152,13 +152,74 @@ class TestBench:
         (artifact,) = sorted(out.glob("BENCH_*.json"))
         doc = json.loads(artifact.read_text())
         assert doc["format"] == "pascal-bench"
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         names = {bench["name"] for bench in doc["benchmarks"]}
         assert {"eventqueue.heapq", "eventqueue.bucket"} <= names
         assert any(name.startswith("fig9.sim.") for name in names)
+        # v2: every fig9 entry has a .noepoch A/B twin and requests/s.
+        for policy in ("fcfs", "pascal"):
+            assert f"fig9.sim.{policy}" in names
+            assert f"fig9.sim.{policy}.noepoch" in names
+        for bench in doc["benchmarks"]:
+            if bench["name"].startswith("fig9.sim."):
+                assert bench["requests_per_s"] > 0
+                assert isinstance(bench["epoch_coalescing"], bool)
+        assert "profile" not in doc  # opt-in via --profile
         stdout = capsys.readouterr().out
         assert "eventqueue.bucket" in stdout
         assert str(artifact) in stdout
+
+    def test_bench_profile_section(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        out.mkdir()
+        rc = main(
+            [
+                "bench",
+                "--bench-requests",
+                "24",
+                "--bench-repeats",
+                "1",
+                "--profile",
+                "--bench-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        (artifact,) = sorted(out.glob("BENCH_*.json"))
+        doc = json.loads(artifact.read_text())
+        profile = doc["profile"]
+        assert profile["target"] == "fig9.sim.fcfs"
+        assert 0 < len(profile["top"]) <= 15
+        for row in profile["top"]:
+            assert set(row) == {"func", "ncalls", "tottime_s", "cumtime_s"}
+        # Ranked by cumulative time, descending.
+        cums = [row["cumtime_s"] for row in profile["top"]]
+        assert cums == sorted(cums, reverse=True)
+        assert "cProfile top-" in capsys.readouterr().out
+
+    def test_bench_no_epoch_escape_hatch(self, tmp_path):
+        out = tmp_path / "bench"
+        out.mkdir()
+        rc = main(
+            [
+                "bench",
+                "--bench-requests",
+                "24",
+                "--bench-repeats",
+                "1",
+                "--no-epoch",
+                "--bench-out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        (artifact,) = sorted(out.glob("BENCH_*.json"))
+        doc = json.loads(artifact.read_text())
+        assert doc["config"]["epoch_coalescing"] is False
+        for bench in doc["benchmarks"]:
+            if bench["name"].startswith("fig9.sim."):
+                assert bench["epoch_coalescing"] is False
+                assert not bench["name"].endswith(".noepoch")
 
 
 class TestPoolKnob:

@@ -1,0 +1,241 @@
+"""Decode-epoch coalescing is an *optimization*, not a semantic change.
+
+`ServingInstance` advances many decode tokens per ``STEP_COMPLETE`` event
+(the decode-epoch fast path) instead of one event per token.  The contract
+is bit-identical observable behavior: every per-request timestamp, every
+answer-token time, every lifecycle-hook firing — in the same order, with
+the same floats — as single-stepping.  Hypothesis drives random workloads
+through every policy, over homogeneous and heterogeneous (tiered) pools,
+and compares the two modes; deterministic regressions then pin the
+off-by-one-prone epoch boundaries (quantum expiry, phase flip).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ServingSession, SessionSubscriber
+from repro.cluster.cluster import Cluster
+from repro.config import (
+    ClusterConfig,
+    ExtensionPolicyConfig,
+    InstanceConfig,
+    PoolSpec,
+    SchedulerConfig,
+)
+from repro.workload.request import Request
+
+POLICIES = (
+    "fcfs",
+    "rr",
+    "pascal",
+    "pascal-nomigration",
+    "pascal-nonadaptive",
+    "phase-partitioned",
+    "tiered-express",
+    "slo-least-load",
+)
+
+#: (name, extensions) — the pool shapes each policy is exercised over.
+POOLS = (
+    ("homogeneous", ExtensionPolicyConfig()),
+    (
+        "tiered",
+        ExtensionPolicyConfig(
+            least_load_weighted=True,
+            pool=PoolSpec(express_instances=1, express_threshold_tokens=60),
+        ),
+    ),
+)
+
+
+@st.composite
+def workload_spec(draw):
+    """Specs, not Request objects: runs mutate requests, so each run
+    rebuilds its own copies."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    specs = []
+    t = 0.0
+    for rid in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=0.4, allow_nan=False))
+        specs.append(
+            (
+                rid,
+                draw(st.integers(min_value=1, max_value=40)),
+                draw(st.integers(min_value=0, max_value=80)),
+                draw(st.integers(min_value=1, max_value=60)),
+                t,
+            )
+        )
+    return specs
+
+
+def build_requests(specs):
+    return [
+        Request(
+            rid=rid,
+            prompt_len=prompt,
+            reasoning_len=reasoning,
+            answer_len=answer,
+            arrival_t=arrival,
+        )
+        for rid, prompt, reasoning, answer, arrival in specs
+    ]
+
+
+def cluster_config(extensions, epoch, quantum=16):
+    return ClusterConfig(
+        n_instances=2,
+        instance=InstanceConfig(
+            kv_capacity_tokens=2400,
+            scheduler=SchedulerConfig(token_quantum=quantum),
+            epoch_coalescing=epoch,
+        ),
+        extensions=extensions,
+    )
+
+
+def fingerprint(requests):
+    """Every externally observable per-request float and count."""
+    return [
+        (
+            req.rid,
+            req.first_sched_t,
+            req.prefill_end_t,
+            req.reasoning_end_t,
+            req.first_answer_t,
+            req.answer_sched_t,
+            req.done_t,
+            req.n_migrations,
+            req.generated_tokens,
+            tuple(req.answer_token_times),
+        )
+        for req in requests
+    ]
+
+
+def run_batch(policy, specs, extensions, epoch, quantum=16):
+    requests = build_requests(specs)
+    cluster = Cluster(cluster_config(extensions, epoch, quantum), policy=policy)
+    cluster.run_trace(requests)
+    assert cluster.all_finished()
+    for inst in cluster.instances:
+        inst.check_invariants()
+    return fingerprint(requests), [
+        (inst.tokens_generated, inst.decode_steps, inst.busy_time_s)
+        for inst in cluster.instances
+    ]
+
+
+class _HookRecorder(SessionSubscriber):
+    """Captures the lifecycle stream verbatim, in dispatch order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_admit(self, handle, now, instance_id):
+        self.events.append(("admit", handle.rid, now, instance_id))
+
+    def on_phase_change(self, handle, now):
+        self.events.append(("phase", handle.rid, now))
+
+    def on_first_token(self, handle, now):
+        self.events.append(("first-token", handle.rid, now))
+
+    def on_complete(self, handle, now):
+        self.events.append(("complete", handle.rid, now))
+
+
+def run_session(policy, specs, extensions, epoch):
+    session = ServingSession(
+        policy=policy, config=cluster_config(extensions, epoch)
+    )
+    recorder = session.subscribe(_HookRecorder())
+    for req in build_requests(specs):
+        session.submit(req)
+    metrics = session.drain()
+    return recorder.events, fingerprint(
+        sorted(metrics.requests, key=lambda r: r.rid)
+    )
+
+
+class TestEpochEquivalence:
+    @given(workload_spec(), st.sampled_from(POLICIES), st.sampled_from(POOLS))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_run_bit_identical(self, specs, policy, pool):
+        _, extensions = pool
+        fast = run_batch(policy, specs, extensions, epoch=True)
+        slow = run_batch(policy, specs, extensions, epoch=False)
+        assert fast == slow
+
+    @given(workload_spec(), st.sampled_from(POLICIES))
+    @settings(max_examples=15, deadline=None)
+    def test_lifecycle_hooks_fire_identically(self, specs, policy):
+        extensions = POOLS[0][1]
+        fast_events, fast_fp = run_session(policy, specs, extensions, True)
+        slow_events, slow_fp = run_session(policy, specs, extensions, False)
+        assert fast_events == slow_events
+        assert fast_fp == slow_fp
+
+
+class TestEpochBoundaries:
+    """Deterministic off-by-one regressions at the epoch-horizon edges."""
+
+    def _ab(self, specs, policy="pascal", quantum=16):
+        extensions = POOLS[0][1]
+        fast = run_batch(policy, specs, extensions, True, quantum)
+        slow = run_batch(policy, specs, extensions, False, quantum)
+        assert fast == slow
+
+    def test_quantum_expiry_exact_boundary(self):
+        # Decode lengths that are exact multiples of the quantum: the
+        # epoch must end *on* the expiry step, not one past it.
+        quantum = 8
+        specs = [
+            (0, 10, 2 * quantum, quantum, 0.0),
+            (1, 10, quantum, 2 * quantum, 0.0),
+            (2, 10, 0, 3 * quantum, 0.1),
+        ]
+        self._ab(specs, quantum=quantum)
+
+    def test_phase_flip_exact_boundary(self):
+        # reasoning_len == 1 flips phase on the very first decode token;
+        # the flip must land on an epoch-final step so migration and
+        # re-banding see it at the true event time.
+        specs = [
+            (0, 10, 1, 5, 0.0),
+            (1, 10, 2, 5, 0.0),
+            (2, 10, 1, 1, 0.05),
+        ]
+        self._ab(specs)
+
+    def test_single_token_requests(self):
+        # Horizon floor: a one-token answer is a one-step epoch.
+        specs = [(0, 4, 0, 1, 0.0), (1, 4, 0, 1, 0.0), (2, 4, 1, 1, 0.0)]
+        self._ab(specs)
+
+    def test_block_crossing_pressure(self):
+        # A tight pool forces the block-boundary cap to bound horizons.
+        extensions = POOLS[0][1]
+        specs = [(rid, 30, 40, 40, 0.01 * rid) for rid in range(8)]
+        for policy in ("fcfs", "pascal"):
+            fast_requests = build_requests(specs)
+            config = ClusterConfig(
+                n_instances=1,
+                instance=InstanceConfig(
+                    kv_capacity_tokens=700, epoch_coalescing=True
+                ),
+                extensions=extensions,
+            )
+            cluster = Cluster(config, policy=policy)
+            cluster.run_trace(fast_requests)
+            slow_requests = build_requests(specs)
+            config_slow = ClusterConfig(
+                n_instances=1,
+                instance=InstanceConfig(
+                    kv_capacity_tokens=700, epoch_coalescing=False
+                ),
+                extensions=extensions,
+            )
+            cluster_slow = Cluster(config_slow, policy=policy)
+            cluster_slow.run_trace(slow_requests)
+            assert fingerprint(fast_requests) == fingerprint(slow_requests)

@@ -166,18 +166,36 @@ class TestCensus:
     def test_pending_kv_counts_unallocated(self):
         engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
         req = simple_request(prompt=10)
-        inst.requests.add(req)  # admitted but never planned
+        inst.busy = True  # mid-step: admitted but not planned yet
+        inst.admit(req, 0.0)
         assert inst.pending_kv_tokens() == 10
         assert inst.total_kv_tokens() == 10
+        inst.check_invariants()
 
     def test_total_kv_includes_pool_and_pending(self):
         engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
         allocated = simple_request(rid=0, prompt=10)
         inst.pool.allocate(allocated, 10)
         inst.requests.add(allocated)
+        inst.busy = True
         queued = simple_request(rid=1, prompt=5)
-        inst.requests.add(queued)
+        inst.admit(queued, 0.0)
         assert inst.total_kv_tokens() == 15
+        inst.check_invariants()
+
+    def test_pending_kv_drops_on_allocation_and_departure(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=64)
+        a = simple_request(rid=0, prompt=10)
+        b = simple_request(rid=1, prompt=5)
+        inst.busy = True
+        inst.admit(a, 0.0)
+        inst.admit(b, 0.0)
+        assert inst.pending_kv_tokens() == 15
+        inst.do_allocate(a, 0.0)  # planner placed `a` in GPU memory
+        assert inst.pending_kv_tokens() == 5
+        inst.depart(b, 0.5)  # `b` migrates away before ever allocating
+        assert inst.pending_kv_tokens() == 0
+        inst.check_invariants()
 
 
 class TestLivelockGuard:

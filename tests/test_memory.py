@@ -177,6 +177,48 @@ class TestQueries:
         assert pool.holds(r) and not pool.on_gpu(r)
 
 
+class TestGrowAll:
+    """Batch one-token growth — the decode-epoch fast path's pool call."""
+
+    def test_matches_per_request_grow(self):
+        batch, single = KVPool(640, 640), KVPool(640, 640)
+        reqs_a = [req(i) for i in range(3)]
+        reqs_b = [req(i) for i in range(3)]
+        for pool, reqs in ((batch, reqs_a), (single, reqs_b)):
+            for i, r in enumerate(reqs):
+                pool.allocate(r, 15 + i)  # one request sits on a boundary
+        crossing = sum(1 for r in reqs_a if r.kv_tokens % 16 == 0)
+        batch.grow_all(reqs_a, crossing)
+        for r in reqs_b:
+            single.grow(r, 1)
+        assert batch.gpu_used_blocks == single.gpu_used_blocks
+        assert batch.gpu_used_tokens() == single.gpu_used_tokens()
+        assert [r.kv_tokens for r in reqs_a] == [r.kv_tokens for r in reqs_b]
+        batch.check_invariants()
+
+    def test_oom_when_crossings_exceed_free_blocks(self):
+        pool = KVPool(32, 0)
+        a, b = req(1), req(2)
+        pool.allocate(a, 16)
+        pool.allocate(b, 16)
+        with pytest.raises(OutOfMemoryError):
+            pool.grow_all([a, b], crossing_blocks=2)
+        # The failed call must not have mutated anything.
+        pool.check_invariants()
+        assert a.kv_tokens == 16 and b.kv_tokens == 16
+
+    def test_counters_stay_o1_consistent(self):
+        pool = KVPool(3200, 3200)
+        reqs = [req(i) for i in range(4)]
+        for r in reqs:
+            pool.allocate(r, 10)
+        for step in range(40):
+            crossing = sum(1 for r in reqs if r.kv_tokens % 16 == 0)
+            pool.grow_all(reqs, crossing)
+            pool.check_invariants()
+        assert pool.gpu_used_tokens() == 4 * 50
+
+
 @st.composite
 def pool_operations(draw):
     """A random sequence of (op, rid) pairs."""
