@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — direct access to the lint CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import run_lint
+
+if __name__ == "__main__":
+    raise SystemExit(run_lint(sys.argv[1:]))

@@ -1,0 +1,155 @@
+"""Grandfathered-findings baseline for the lint engine.
+
+A baseline file records findings that are *known and justified* — the
+linter reports them as suppressed instead of failing the run, so the
+gate stays green on historical debt while any **new** finding still goes
+red.  Entries match on file + rule code + a source-snippet substring
+(never on line numbers, which churn with every edit above the finding):
+
+.. code-block:: json
+
+    {
+      "format": "pascal-lint-baseline",
+      "version": 1,
+      "entries": [
+        {
+          "file": "src/repro/sim/events.py",
+          "code": "PAS004",
+          "match": "self.time != other.time",
+          "justification": "comparator tie detection; exact by design"
+        }
+      ]
+    }
+
+An entry that matches nothing is *stale* — reported as a warning so dead
+suppressions get cleaned up rather than silently masking future
+findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Conventional baseline location, picked up when it exists.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+class BaselineError(ValueError):
+    """Unreadable or malformed baseline file."""
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    file: str
+    code: str
+    #: Substring matched against the finding's source snippet (and, as a
+    #: fallback, its message).  Empty = match every ``file``+``code``
+    #: finding.
+    match: str = ""
+    justification: str = ""
+    #: Findings this entry absorbed in the current run.
+    hits: int = field(default=0, compare=False)
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.path != self.file or diag.code != self.code:
+            return False
+        return (
+            not self.match
+            or self.match in diag.snippet
+            or self.match in diag.message
+        )
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "file": self.file,
+            "code": self.code,
+            "match": self.match,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A loaded baseline: entry matching plus staleness accounting."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries: list[BaselineEntry] = list(entries or [])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != "pascal-lint-baseline"
+            or doc.get("version") != 1
+        ):
+            raise BaselineError(
+                f"baseline {path}: expected a pascal-lint-baseline v1 "
+                f"document"
+            )
+        entries = []
+        for raw in doc.get("entries", []):
+            if not isinstance(raw, dict) or "file" not in raw or "code" not in raw:
+                raise BaselineError(
+                    f"baseline {path}: every entry needs `file` and `code`"
+                )
+            entries.append(
+                BaselineEntry(
+                    file=str(raw["file"]),
+                    code=str(raw["code"]),
+                    match=str(raw.get("match", "")),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        return cls(entries)
+
+    def absorb(self, diag: Diagnostic) -> bool:
+        """True (and counted) if some entry grandfathers this finding."""
+        for entry in self.entries:
+            if entry.matches(diag):
+                entry.hits += 1
+                return True
+        return False
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched no finding in the run just filtered."""
+        return [entry for entry in self.entries if entry.hits == 0]
+
+    def save(self, path: str | Path) -> None:
+        doc = {
+            "format": "pascal-lint-baseline",
+            "version": 1,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def baseline_from_diagnostics(diagnostics: list[Diagnostic]) -> Baseline:
+    """A fresh baseline grandfathering exactly the given findings.
+
+    Used by ``--update-baseline``: each entry matches on the finding's
+    source snippet and carries a TODO justification for a human to fill
+    in — an empty justification is a review prompt, not a free pass.
+    """
+    entries = [
+        BaselineEntry(
+            file=diag.path,
+            code=diag.code,
+            match=diag.snippet,
+            justification="TODO: justify or fix",
+        )
+        for diag in diagnostics
+    ]
+    return Baseline(entries)

@@ -24,8 +24,12 @@ Accounting contract (pinned by ``tests/test_api_session.py``):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.workload.request import Request
+
+if TYPE_CHECKING:  # annotation-only: keep the core decoupled at runtime
+    from repro.cluster.cluster import Cluster
 
 
 @dataclass(frozen=True)
@@ -79,7 +83,7 @@ class AdmissionPolicy:
     """
 
     def decide(
-        self, cluster, req: Request, now: float
+        self, cluster: Cluster, req: Request, now: float
     ) -> AdmissionDecision:
         raise NotImplementedError
 
@@ -87,7 +91,9 @@ class AdmissionPolicy:
 class AdmitAll(AdmissionPolicy):
     """The explicit no-op gate (equivalent to installing no policy)."""
 
-    def decide(self, cluster, req, now) -> AdmissionDecision:
+    def decide(
+        self, cluster: Cluster, req: Request, now: float
+    ) -> AdmissionDecision:
         return ADMIT
 
 
@@ -107,7 +113,9 @@ class MaxInFlightAdmission(AdmissionPolicy):
         self.limit = limit
         self.defer_s = defer_s
 
-    def decide(self, cluster, req, now) -> AdmissionDecision:
+    def decide(
+        self, cluster: Cluster, req: Request, now: float
+    ) -> AdmissionDecision:
         # ``active_requests()`` counts the request under decision (it has
         # arrived), so the bound compares the *others* against the limit.
         if cluster.active_requests() - 1 < self.limit:
@@ -136,7 +144,9 @@ class KVBudgetAdmission(AdmissionPolicy):
         self.budget_tokens = budget_tokens
         self.defer_s = defer_s
 
-    def decide(self, cluster, req, now) -> AdmissionDecision:
+    def decide(
+        self, cluster: Cluster, req: Request, now: float
+    ) -> AdmissionDecision:
         footprint = sum(inst.total_kv_tokens() for inst in cluster.instances)
         if footprint < self.budget_tokens:
             return ADMIT

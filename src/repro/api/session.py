@@ -43,15 +43,19 @@ when the session drains.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.core.policy import ClusterPolicy
 from repro.api.admission import AdmissionPolicy
-from repro.api.sources import ArrivalSource, as_source
+from repro.api.sources import ArrivalSource, SourceLike, as_source
 from repro.metrics.collector import RunMetrics, collect
 from repro.workload.request import Request
+
+if TYPE_CHECKING:  # annotation-only imports
+    from repro.perfmodel.analytical import PerfModel
+    from repro.serving.instance import ServingInstance
 
 
 class RequestHandle:
@@ -149,28 +153,38 @@ class EventPrinter(SessionSubscriber):
     EventPrinter())``).
     """
 
-    def __init__(self, write=None):
+    def __init__(self, write: Callable[[str], None] | None = None):
         import sys
 
-        self._write = write if write is not None else sys.stdout.write
+        self._write: Callable[[str], None] = (
+            write if write is not None else sys.stdout.write
+        )
 
-    def _line(self, now: float, kind: str, handle, detail: str = "") -> None:
+    def _line(
+        self, now: float, kind: str, handle: RequestHandle, detail: str = ""
+    ) -> None:
         tag = f" ({handle.request.dataset})" if handle.request.dataset else ""
         suffix = f"  {detail}" if detail else ""
         self._write(
             f"[{now:12.3f}s] {kind:<12} req {handle.rid}{tag}{suffix}\n"
         )
 
-    def on_admit(self, handle, now, instance_id) -> None:
+    def on_admit(
+        self, handle: RequestHandle, now: float, instance_id: int
+    ) -> None:
         self._line(now, "admit", handle, f"-> instance {instance_id}")
 
-    def on_reject(self, handle, now, reason) -> None:
+    def on_reject(
+        self, handle: RequestHandle, now: float, reason: str
+    ) -> None:
         self._line(now, "reject", handle, reason)
 
-    def on_defer(self, handle, now, delay_s) -> None:
+    def on_defer(
+        self, handle: RequestHandle, now: float, delay_s: float
+    ) -> None:
         self._line(now, "defer", handle, f"retry in {delay_s:g}s")
 
-    def on_phase_change(self, handle, now) -> None:
+    def on_phase_change(self, handle: RequestHandle, now: float) -> None:
         self._line(
             now,
             "phase",
@@ -179,12 +193,12 @@ class EventPrinter(SessionSubscriber):
             f"({handle.request.generated_tokens} think tokens)",
         )
 
-    def on_first_token(self, handle, now) -> None:
+    def on_first_token(self, handle: RequestHandle, now: float) -> None:
         ttft = handle.ttft()
         detail = f"ttft {ttft:.3f}s" if ttft is not None else ""
         self._line(now, "first-token", handle, detail)
 
-    def on_complete(self, handle, now) -> None:
+    def on_complete(self, handle: RequestHandle, now: float) -> None:
         latency = handle.e2e_latency()
         detail = f"e2e {latency:.3f}s" if latency is not None else ""
         self._line(now, "complete", handle, detail)
@@ -223,7 +237,7 @@ class ServingSession:
         config: ClusterConfig | None = None,
         admission: AdmissionPolicy | None = None,
         horizon_s: float = float("inf"),
-        perf=None,
+        perf: PerfModel | None = None,
     ):
         self.config = config or ClusterConfig()
         self.cluster = Cluster(
@@ -256,7 +270,7 @@ class ServingSession:
         self.cluster.submit_one(request)
         return handle
 
-    def attach(self, source) -> None:
+    def attach(self, source: SourceLike) -> None:
         """Feed an arrival source (or anything :func:`as_source` accepts).
 
         The source is consumed *incrementally* as simulated time reaches
@@ -405,7 +419,9 @@ class ServingSession:
     # ------------------------------------------------------------------
     # hook fan-out
     # ------------------------------------------------------------------
-    def _fire_admit(self, req: Request, inst, now: float) -> None:
+    def _fire_admit(
+        self, req: Request, inst: ServingInstance, now: float
+    ) -> None:
         handle = self._handle_for(req)
         handle.status = RequestHandle.ADMITTED
         for sub in self._subscribers:
@@ -423,7 +439,9 @@ class ServingSession:
         for sub in self._subscribers:
             sub.on_defer(handle, now, delay_s)
 
-    def _fire_phase(self, req: Request, src, now: float) -> None:
+    def _fire_phase(
+        self, req: Request, src: ServingInstance, now: float
+    ) -> None:
         handle = self._handle_for(req)
         for sub in self._subscribers:
             sub.on_phase_change(handle, now)

@@ -185,7 +185,13 @@ class MergedSource(ArrivalSource):
                 heapq.heappush(heads, (nxt.arrival_t, index, nxt, iterator))
 
 
-def as_source(workload) -> ArrivalSource:
+#: Anything :func:`as_source` can coerce into an :class:`ArrivalSource`.
+SourceLike = (
+    ArrivalSource | TraceConfig | ReplayTraceConfig | Iterable[Request]
+)
+
+
+def as_source(workload: SourceLike) -> ArrivalSource:
     """Coerce any supported workload shape into an :class:`ArrivalSource`.
 
     Accepts an existing source (returned unchanged), a

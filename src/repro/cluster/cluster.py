@@ -105,6 +105,9 @@ class Cluster:
         #: deferrals.  Distinguishes "seen" from "actually on the
         #: cluster" (see :meth:`active_requests`).
         self.pending_arrivals = 0
+        #: Deferred arrivals currently waiting out their delay, keyed by
+        #: rid in defer order (insertion-ordered; see :meth:`deferred`).
+        self._deferred: dict[int, Request] = {}
         self.token_log: dict[int, list[float]] | None = None
 
         #: Optional pre-placement gate: ``decide(cluster, req, now)``
@@ -158,6 +161,9 @@ class Cluster:
         for inst in self.instances:
             inst.sync(now)
         self.pending_arrivals -= 1
+        # A re-arrival after a deferral leaves the waiting-room view;
+        # it may be re-deferred below, which re-inserts it at the tail.
+        self._deferred.pop(req.rid, None)
         if self.admission is not None:
             decision = self.admission.decide(self, req, now)
             action = getattr(decision, "action", "admit")
@@ -174,6 +180,7 @@ class Cluster:
                         f"{delay_s}s; deferrals must be positive"
                     )
                 self.pending_arrivals += 1
+                self._deferred[req.rid] = req
                 self.engine.schedule_in(delay_s, EventKind.ARRIVAL, req)
                 self.on_defer_hook(req, now, delay_s)
                 return
@@ -324,3 +331,13 @@ class Cluster:
         gates compare ``active_requests() - 1`` against their bound.
         """
         return self.in_flight() - self.pending_arrivals
+
+    def deferred(self) -> list[Request]:
+        """Admission-deferred requests currently waiting out their delay.
+
+        A snapshot in defer order: a request enters when the admission
+        gate defers it, leaves when its re-arrival fires (and re-enters
+        at the tail if deferred again).  Subset of
+        :attr:`pending_arrivals`; empty when no admission policy defers.
+        """
+        return list(self._deferred.values())

@@ -88,7 +88,9 @@ def iter_policies() -> Iterator[tuple[str, type[ClusterPolicy]]]:
 def policy_table() -> list[tuple[str, str]]:
     """(name, one-line description) rows for docs and ``--list-policies``."""
     rows = []
-    for name, cls in _REGISTRY.items():
+    # Registration (insertion) order is deterministic: policies register
+    # at import time, module by module.
+    for name, cls in _REGISTRY.items():  # lint-ignore: PAS003
         doc = (cls.__doc__ or "").strip().splitlines()
         rows.append((name, doc[0] if doc else ""))
     return rows

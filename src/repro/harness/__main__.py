@@ -42,6 +42,11 @@ Usage::
     python -m repro.harness serve --trace trace.jsonl --policy fcfs \\
         --admit-max 64        # reject arrivals beyond 64 in flight
 
+    # the determinism & contract linter (rules PAS001-PAS008):
+    python -m repro.harness lint                      # src + tests
+    python -m repro.harness lint --format github      # CI annotations
+    python -m repro.harness lint --baseline lint_baseline.json src
+
 ``--jobs`` parallelizes at the simulation-cell level (one dataset x tier x
 policy run, or one replayed trace x policy, per task): the requested cells
 are deduplicated, executed across worker processes, and every table is then
@@ -325,6 +330,7 @@ def _print_experiment_list() -> None:
           "ServingSession API")
     print(f"{'bench':20s} Microbenchmarks -> BENCH_<date>.json artifact")
     print(f"{'cache':20s} Result-store maintenance: cache ls|prune|clear")
+    print(f"{'lint':20s} Determinism & contract linter (PAS rules)")
 
 
 def _print_policies() -> None:
@@ -607,6 +613,13 @@ def _print_cache_stats() -> None:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "lint":
+        # The linter owns its own flags (`--format text|json|github`
+        # would collide with import-trace's `--format vllm|openai`), so
+        # dispatch before the main parse — same pattern as `cache`.
+        from repro.analysis.cli import run_lint
+
+        return run_lint(argv[1:])
     args = _parser().parse_args(argv)
     if args.list_policies:
         _print_policies()

@@ -56,6 +56,62 @@ def dataset_spec(dataset: DatasetSpec | MixedDataset) -> dict:
     return dataclasses.asdict(dataset)
 
 
+def settings_spec(settings: Any) -> dict:
+    """Canonical serialization of one settings dataclass.
+
+    The ``settings`` component of every :func:`cell_spec`: recursive
+    ``dataclasses.asdict``, so **every** field — including nested config
+    dataclasses like ``ExtensionPolicyConfig``/``PoolSpec`` — joins the
+    cache key.  The PAS005 lint rule cross-checks declared fields against
+    :func:`canonical_field_manifest`, which is derived from this
+    function; a field that stops reaching the output here is exactly the
+    stale-cache-hit bug class (two runs differing only in that knob
+    share a disk entry).
+    """
+    return dataclasses.asdict(settings)
+
+
+def canonical_field_manifest() -> dict[str, frozenset[str]]:
+    """Dataclass name -> field names reaching the canonical cell spec.
+
+    Built by serializing a *default instance* of every cache-key
+    settings dataclass with :func:`settings_spec` and recording,
+    recursively, which declared fields appear in the output.  Nested
+    config dataclasses contribute their own entries (the defaults
+    instantiate them via ``default_factory``), so the manifest covers
+    ``ExtensionPolicyConfig`` and ``PoolSpec`` too.
+
+    This is the ground truth the PAS005 cache-key-completeness rule
+    checks against: it reflects what the serializer *actually emits*,
+    not what anyone believes it emits.
+    """
+    from repro.harness.runner import (
+        CharacterizationSettings,
+        ReplaySettings,
+    )
+
+    manifest: dict[str, frozenset[str]] = {}
+
+    def record(obj: Any, serialized: Any) -> None:
+        if not dataclasses.is_dataclass(obj) or not isinstance(
+            serialized, dict
+        ):
+            return
+        covered = frozenset(
+            f.name for f in dataclasses.fields(obj) if f.name in serialized
+        )
+        name = type(obj).__name__
+        manifest[name] = manifest.get(name, frozenset()) | covered
+        for f in dataclasses.fields(obj):
+            if f.name in serialized:
+                record(getattr(obj, f.name), serialized[f.name])
+
+    for cls in (EvalSettings, ReplaySettings, CharacterizationSettings):
+        instance = cls()
+        record(instance, settings_spec(instance))
+    return manifest
+
+
 def cell_spec(cell: Cell) -> dict:
     """Canonical JSON-ready description of one sweep cell.
 
@@ -70,14 +126,14 @@ def cell_spec(cell: Cell) -> dict:
             "dataset": dataset_spec(cell.dataset),
             "tier": cell.tier,
             "policy": cell.policy,
-            "settings": dataclasses.asdict(cell.settings),
+            "settings": settings_spec(cell.settings),
         }
     if isinstance(cell, CharCell):
         return {
             "kind": "char",
             "phase": cell.phase,
             "policy": cell.policy,
-            "settings": dataclasses.asdict(cell.settings),
+            "settings": settings_spec(cell.settings),
         }
     if isinstance(cell, ReplayCell):
         return {
@@ -87,7 +143,7 @@ def cell_spec(cell: Cell) -> dict:
                 "rate_scale": cell.trace.rate_scale,
             },
             "policy": cell.policy,
-            "settings": dataclasses.asdict(cell.settings),
+            "settings": settings_spec(cell.settings),
         }
     raise TypeError(f"not a sweep cell: {cell!r}")
 

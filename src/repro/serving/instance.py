@@ -49,6 +49,45 @@ TransitionHook = Callable[[Request, "ServingInstance", float], None]
 CompletionHook = Callable[[Request, float], None]
 
 
+class RequestSet:
+    """Insertion-ordered request registry with set-style membership.
+
+    The instance's resident-request census used to be a plain ``set``,
+    which iterates in hash order — identical within one process, but not
+    across machines or Python builds, so any census read that feeds
+    placement or event emission would be a latent determinism bug
+    (PAS003).  Backing the registry with a dict keeps add/discard/
+    membership O(1) while making iteration order *admission order* —
+    deterministic by construction, and what every observer (monitor
+    sums, ``form_batch``'s pre-sort snapshot, invariant checks) now
+    sees.
+    """
+
+    __slots__ = ("_requests",)
+
+    def __init__(self) -> None:
+        self._requests: dict[Request, None] = {}
+
+    def add(self, req: Request) -> None:
+        self._requests[req] = None
+
+    def discard(self, req: Request) -> None:
+        self._requests.pop(req, None)
+
+    def __contains__(self, req: object) -> bool:
+        return req in self._requests
+
+    def __iter__(self):
+        return iter(self._requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rids = [r.rid for r in self._requests]
+        return f"RequestSet({rids})"
+
+
 class _DecodeEpoch:
     """One in-flight coalesced decode run: N analytically-timed steps.
 
@@ -94,7 +133,9 @@ class ServingInstance:
             gpu_capacity_tokens=config.gpu_kv_tokens(),
             cpu_capacity_tokens=config.cpu_kv_tokens(),
         )
-        self.requests: set[Request] = set()
+        #: Resident-request census, iterated in admission order (see
+        #: :class:`RequestSet` for why insertion order matters here).
+        self.requests = RequestSet()
         self.busy = False
         self.overhead_s = 0.0
         self._dirty = True

@@ -1,0 +1,12 @@
+"""PAS001 fixture: wall clock inside the sanctioned bench/ scope (clean).
+
+Benchmarks *measure* wall time; the scoped config allows it here.
+"""
+
+import time
+
+
+def time_run(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,12 @@
+"""PAS001 fixture: wall-clock reads in deterministic code (all flagged)."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp_event(event):
+    event.created_at = time.time()  # finding: wall clock
+    event.day = datetime.now()  # finding: wall clock via from-import
+    event.elapsed = pc()  # finding: aliased perf_counter
+    return event

@@ -1,0 +1,7 @@
+"""PAS001 fixture: simulated-clock reads only (clean)."""
+
+
+def stamp_event(event, engine, now):
+    event.created_at = engine.now
+    event.dispatched_at = now
+    return event

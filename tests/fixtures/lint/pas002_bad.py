@@ -1,0 +1,12 @@
+"""PAS002 fixture: global random state (all flagged)."""
+
+import random
+
+import numpy as np
+
+
+def jittered_delay(base):
+    random.seed(0)  # finding: reseeds the process-global stream
+    noise = random.uniform(0.0, 0.1)  # finding: global stream
+    spike = np.random.rand()  # finding: numpy global state
+    return base + noise + spike

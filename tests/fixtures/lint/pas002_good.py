@@ -1,0 +1,11 @@
+"""PAS002 fixture: named seeded streams (clean)."""
+
+import random
+
+
+def jittered_delay(base, streams):
+    # A named stream from repro.sim.rng.RandomStreams ...
+    noise = streams.stream("arrival-jitter").uniform(0.0, 0.1)
+    # ... or an explicit instance-local generator.
+    local = random.Random(42)
+    return base + noise + local.uniform(0.0, 0.1)

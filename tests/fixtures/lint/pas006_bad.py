@@ -1,0 +1,15 @@
+"""PAS006 fixture: unregistered / legacy-signature policies (flagged)."""
+
+from repro.core.policy import ClusterPolicy
+
+
+class GhostPolicy(ClusterPolicy):  # finding: never registered
+    """A policy the registry (and every harness sweep) will never see."""
+
+    name = "ghost"
+
+    def make_intra_scheduler(self):  # finding: deprecated zero-arg form
+        return None
+
+    def place_arrival(self, req, now):
+        return self.instances[0]

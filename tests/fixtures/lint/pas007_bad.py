@@ -1,0 +1,10 @@
+"""PAS007 fixture: mutable default arguments (flagged)."""
+
+
+def collect(batch=[]):  # finding: shared list default
+    batch.append(1)
+    return batch
+
+
+def route(table={}, *, tags=set()):  # findings: dict and set defaults
+    return table, tags

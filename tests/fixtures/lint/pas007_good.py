@@ -1,0 +1,11 @@
+"""PAS007 fixture: None defaults constructed in the body (clean)."""
+
+
+def collect(batch=None):
+    batch = [] if batch is None else batch
+    batch.append(1)
+    return batch
+
+
+def route(table=None, *, tags=()):
+    return table or {}, set(tags)

@@ -1,0 +1,14 @@
+"""PAS008 fixture: subscriber hooks drifting from the protocol (flagged)."""
+
+from repro.api import SessionSubscriber
+
+
+class DriftingSubscriber(SessionSubscriber):
+    def on_admit(self, handle, now):  # finding: dropped instance_id
+        pass
+
+    def on_compelte(self, handle, now):  # finding: typo'd hook never fires
+        pass
+
+    def on_defer(self, handle, now, delay_s, retries):  # finding: extra param
+        pass

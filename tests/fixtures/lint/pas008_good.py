@@ -1,0 +1,19 @@
+"""PAS008 fixture: protocol-conformant subscriber (clean)."""
+
+from repro.api import SessionSubscriber
+
+
+class ConformantSubscriber(SessionSubscriber):
+    def on_admit(self, handle, now, instance_id):
+        pass
+
+    def on_complete(self, handle, now):
+        pass
+
+    def record_everything(self, *args):  # not a hook name: ignored
+        pass
+
+
+class PassThroughSubscriber(SessionSubscriber):
+    def on_admit(self, *args, **kwargs):  # escape hatch: accepted
+        pass

@@ -1,0 +1,19 @@
+"""PAS003 fixture: hash-ordered iteration in placement code (flagged)."""
+
+
+class Placer:
+    def __init__(self):
+        self.pending: set = set()
+        self.by_instance = {}
+
+    def place_all(self, emit):
+        for req in self.pending:  # finding: set iteration
+            emit(req)
+        for iid in self.by_instance.keys():  # finding: .keys() iteration
+            emit(iid)
+        return [v for v in self.by_instance.values()]  # finding: .values()
+
+
+def census(instances):
+    seen = {i.iid for i in instances}
+    return [iid for iid in seen]  # finding: set comprehension result

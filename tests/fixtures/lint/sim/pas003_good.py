@@ -1,0 +1,14 @@
+"""PAS003 fixture: explicitly ordered iteration (clean)."""
+
+
+class Placer:
+    def __init__(self):
+        self.pending: set = set()
+        self.by_instance = {}
+
+    def place_all(self, emit):
+        for req in sorted(self.pending, key=lambda r: r.rid):
+            emit(req)
+        for iid in sorted(self.by_instance):
+            emit(iid)
+        return [self.by_instance[iid] for iid in sorted(self.by_instance)]

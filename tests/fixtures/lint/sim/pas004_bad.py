@@ -1,0 +1,7 @@
+"""PAS004 fixture: exact float equality on simulated time (flagged)."""
+
+
+def is_simultaneous(event, other, deadline_s):
+    if event.time == other.time:  # finding: == on time
+        return True
+    return event.done_t != deadline_s  # finding: != on *_t / *_s names

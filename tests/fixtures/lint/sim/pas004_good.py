@@ -1,0 +1,9 @@
+"""PAS004 fixture: tolerance / sequence comparison on time (clean)."""
+
+EPS = 1e-9
+
+
+def is_simultaneous(event, other):
+    if abs(event.time - other.time) < EPS:
+        return True
+    return event.seq < other.seq

@@ -414,6 +414,41 @@ def test_deferred_request_eventually_admits():
     assert handle.request.first_sched_t >= 5.0
 
 
+def test_deferred_view_tracks_waiting_room():
+    class DeferOnce(AdmissionPolicy):
+        def __init__(self):
+            self.seen = set()
+
+        def decide(self, cluster, req, now):
+            if req.rid in self.seen:
+                return AdmissionDecision("admit")
+            self.seen.add(req.rid)
+            return defer(5.0, "warming up")
+
+    session = ServingSession(
+        policy="fcfs", config=small_config(1), admission=DeferOnce(),
+        perf=UnitPerfModel(0.01),
+    )
+    assert session.cluster.deferred() == []
+    session.submit(
+        Request(rid=7, prompt_len=4, reasoning_len=4, answer_len=4,
+                arrival_t=0.0)
+    )
+    session.submit(
+        Request(rid=3, prompt_len=4, reasoning_len=4, answer_len=4,
+                arrival_t=0.5)
+    )
+    session.step(until=2.0)
+    # Both arrivals fired and were deferred: the waiting-room snapshot
+    # lists them in defer order (not rid order) while the delay runs.
+    waiting = session.cluster.deferred()
+    assert [r.rid for r in waiting] == [7, 3]
+    assert session.cluster.pending_arrivals >= len(waiting)
+    session.drain()
+    assert session.cluster.deferred() == []
+    assert session.n_completed == 2
+
+
 def test_admit_all_is_identity():
     config = TraceConfig(ALPACA_EVAL, n_requests=15, arrival_rate_per_s=2.0,
                          seed=2)

@@ -225,3 +225,43 @@ class TestTokenLog:
         engine.run()
         assert len(log[req.rid]) == 5
         assert log[req.rid] == sorted(log[req.rid])
+
+
+class TestRequestSet:
+    """The resident-request registry iterates in admission order.
+
+    Regression for the PAS003 self-host finding: ``self.requests`` was a
+    plain ``set``, so census iteration ran in hash order — stable within
+    one process but not across machines or Python builds.
+    """
+
+    def test_iteration_is_admission_order(self):
+        from repro.serving.instance import RequestSet
+
+        reqs = RequestSet()
+        order = [simple_request(rid=r) for r in (5, 1, 9, 3)]
+        for req in order:
+            reqs.add(req)
+        assert [r.rid for r in reqs] == [5, 1, 9, 3]
+        assert len(reqs) == 4
+
+    def test_discard_and_readd_moves_to_tail(self):
+        from repro.serving.instance import RequestSet
+
+        reqs = RequestSet()
+        a, b, c = (simple_request(rid=r) for r in (1, 2, 3))
+        for req in (a, b, c):
+            reqs.add(req)
+        reqs.discard(b)
+        assert b not in reqs and a in reqs
+        reqs.add(b)
+        assert [r.rid for r in reqs] == [1, 3, 2]
+        reqs.discard(simple_request(rid=99))  # absent: no-op, no raise
+
+    def test_instance_census_uses_admission_order(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=256)
+        order = [simple_request(rid=r, arrival=0.0) for r in (7, 2, 5)]
+        for req in order:
+            inst.admit(req, 0.0)
+        assert [r.rid for r in inst.requests] == [7, 2, 5]
+        assert [r.rid for r in inst.live_requests()] == [7, 2, 5]

@@ -1,0 +1,124 @@
+"""Negative-path invariant tests: corrupted counters must be *caught*.
+
+The property suite (``test_invariants.py``) proves correct runs keep the
+O(1) running counters consistent with the authoritative registries.
+This file proves the converse: ``check_invariants()`` actually detects
+each class of drift it claims to — every counter/registry pair, both
+capacity ceilings, and the per-instance pending-KV ledger — with the
+specific message an operator would need to localize the bug.  Without
+these, a silently-vacuous checker would pass every property test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.blocks import KVPool
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.workload.request import Request
+from tests.conftest import build_instance
+
+
+def make_pool(**kw) -> KVPool:
+    defaults = dict(
+        gpu_capacity_tokens=256, cpu_capacity_tokens=256, block_size=16
+    )
+    defaults.update(kw)
+    return KVPool(**defaults)
+
+
+def make_request(rid=0, arrival=0.0):
+    return Request(
+        rid=rid, prompt_len=8, reasoning_len=4, answer_len=4,
+        arrival_t=arrival,
+    )
+
+
+class TestKVPoolCorruption:
+    def test_clean_pool_passes(self):
+        pool = make_pool()
+        pool.allocate(make_request(), 32)
+        pool.check_invariants()
+
+    def test_gpu_token_counter_drift(self):
+        pool = make_pool()
+        pool.allocate(make_request(), 32)
+        pool._gpu_tokens += 1
+        with pytest.raises(
+            AssertionError,
+            match=r"GPU token-counter drift: registry=32 counter=33",
+        ):
+            pool.check_invariants()
+
+    def test_cpu_token_counter_drift(self):
+        pool = make_pool()
+        req = make_request()
+        pool.allocate(req, 32)
+        pool.swap_out(req)
+        pool._cpu_tokens -= 2
+        with pytest.raises(
+            AssertionError,
+            match=r"CPU token-counter drift: registry=32 counter=30",
+        ):
+            pool.check_invariants()
+
+    def test_gpu_block_leak(self):
+        pool = make_pool()
+        pool.allocate(make_request(), 32)
+        pool.gpu_used_blocks += 1
+        with pytest.raises(
+            AssertionError, match=r"GPU block leak: registry=2 counter=3"
+        ):
+            pool.check_invariants()
+
+    def test_cpu_block_leak(self):
+        pool = make_pool()
+        req = make_request()
+        pool.allocate(req, 32)
+        pool.swap_out(req)
+        pool.cpu_used_blocks -= 1
+        with pytest.raises(
+            AssertionError, match=r"CPU block leak: registry=2 counter=1"
+        ):
+            pool.check_invariants()
+
+    def test_gpu_over_capacity(self):
+        pool = make_pool(gpu_capacity_tokens=64)
+        pool.allocate(make_request(), 64)
+        # A consistent-but-impossible state: shrink the declared
+        # capacity under a registry-backed allocation, so the counter
+        # cross-checks pass and only the ceiling check can fire.
+        pool.gpu_capacity_blocks = pool.gpu_used_blocks - 1
+        with pytest.raises(AssertionError, match=r"GPU pool over capacity"):
+            pool.check_invariants()
+
+    def test_cpu_over_capacity(self):
+        pool = make_pool(cpu_capacity_tokens=64)
+        req = make_request()
+        pool.allocate(req, 64)
+        pool.swap_out(req)
+        pool.cpu_capacity_blocks = pool.cpu_used_blocks - 1
+        with pytest.raises(AssertionError, match=r"CPU pool over capacity"):
+            pool.check_invariants()
+
+
+class TestInstancePendingKVCorruption:
+    def test_pending_kv_drift_names_the_instance(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=256)
+        inst.check_invariants()
+        inst._pending_kv += 7
+        with pytest.raises(
+            AssertionError,
+            match=r"instance 0 pending-KV drift: registry=0 counter=7",
+        ):
+            inst.check_invariants()
+
+    def test_admitted_request_is_pending_until_prefilled(self):
+        engine, inst = build_instance(FCFSScheduler(), capacity_tokens=256)
+        req = make_request()
+        inst.admit(req, 0.0)
+        # Admitted but not yet allocated in the pool: counted as pending.
+        inst.check_invariants()
+        inst._pending_kv -= req.full_kv_tokens
+        with pytest.raises(AssertionError, match=r"pending-KV drift"):
+            inst.check_invariants()

@@ -172,7 +172,7 @@ class TestLegacyIntraSchedulerSignature:
 
             name = "legacy-zero-arg"
 
-            def make_intra_scheduler(self):  # old signature, on purpose
+            def make_intra_scheduler(self):  # lint-ignore: PAS006 (old signature, on purpose)
                 return FCFSScheduler()
 
             def place_arrival(self, req, now):
@@ -232,6 +232,7 @@ class TestLegacyIntraSchedulerSignature:
 
                 name = "legacy-kwargs-only"
 
+                # lint-ignore: PAS006 (legacy kwargs-only form, on purpose)
                 def make_intra_scheduler(self, **opts):
                     return FCFSScheduler()
 
