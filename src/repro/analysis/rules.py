@@ -346,7 +346,8 @@ class UnorderedIterationRule(LintRule):
     """
 
     code = "PAS003"
-    scope = frozenset({"sim", "core", "cluster", "serving", "schedulers"})
+    scope = frozenset({"sim", "core", "cluster", "serving", "schedulers",
+                       "shard"})
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         set_symbols = self._set_symbols(ctx.tree)
@@ -456,7 +457,7 @@ class FloatTimeEqualityRule(LintRule):
 
     code = "PAS004"
     scope = frozenset({"sim", "core", "cluster", "serving", "schedulers",
-                       "api"})
+                       "api", "shard"})
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

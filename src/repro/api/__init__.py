@@ -47,9 +47,12 @@ from repro.api.sources import (
     ArrivalSource,
     ListSource,
     MergedSource,
+    PartitionedSource,
     SyntheticSource,
     TraceFileSource,
     as_source,
+    shard_of,
+    stable_shard64,
 )
 
 __all__ = [
@@ -63,6 +66,7 @@ __all__ = [
     "ListSource",
     "MaxInFlightAdmission",
     "MergedSource",
+    "PartitionedSource",
     "RequestHandle",
     "ServingSession",
     "SessionSubscriber",
@@ -72,4 +76,6 @@ __all__ = [
     "as_source",
     "defer",
     "reject",
+    "shard_of",
+    "stable_shard64",
 ]

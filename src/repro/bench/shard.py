@@ -1,0 +1,112 @@
+"""Sharded-simulation scaling series for the benchmark suite.
+
+Times :func:`repro.shard.run_sharded` on one synthetic workload at a
+fixed ladder of ``(shards, workers)`` points so ``BENCH_<date>.json``
+tracks what K-way partitioning buys:
+
+* ``k1w1`` — the unsharded baseline (one engine, one process);
+* ``k4w1`` — four sub-clusters driven serially in one process, which
+  isolates the *algorithmic* effect of partitioning (smaller per-engine
+  event queues and heaps) from parallelism;
+* ``k4w4`` — four worker processes, the deployment the ISSUE targets;
+  on a multi-core host this is where near-linear wall-clock speedup
+  shows up, and ``requests_per_s_per_core`` is the honest
+  efficiency figure either way (``cores`` records how many CPUs the
+  run could actually use, so a single-core host does not report a
+  fake 4x).
+
+The workload deliberately uses a *light* token-length model rather than
+AlpacaEval: scaling behaviour only emerges at request counts in the
+hundreds of thousands, and AlpacaEval's ~570-token answer streams make
+million-request runs memory-bound on the metrics, not the simulator.
+The dataset lives at module level so worker processes can unpickle the
+:class:`~repro.workload.trace.TraceConfig` that references it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import ClusterConfig, InstanceConfig
+from repro.workload.datasets import DatasetSpec, LengthSpec
+from repro.workload.trace import TraceConfig
+
+#: Light per-request token counts (vs AlpacaEval's ~60/558/567 means):
+#: the simulator does the same scheduling work per request while the
+#: per-request metrics footprint stays small enough for 1M+-request runs.
+BENCH_LIGHT = DatasetSpec(
+    name="bench-light",
+    prompt=LengthSpec(mean=60.0, sigma=0.5, lo=8, hi=256),
+    reasoning=LengthSpec(mean=96.0, sigma=0.6, lo=8, hi=512),
+    answering=LengthSpec(mean=48.0, sigma=0.5, lo=8, hi=256),
+)
+
+#: The scaling ladder: (shards, workers) per timed entry.
+SHARD_SERIES: tuple[tuple[int, int], ...] = ((1, 1), (4, 1), (4, 4))
+
+#: Policy under test.  fcfs keeps the per-event cost low and constant so
+#: the series measures the sharding infrastructure, not the scheduler.
+SHARD_POLICY = "fcfs"
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_shard_scaling(
+    n_requests: int = 2000,
+    rate_per_s: float = 150.0,
+    seed: int = 11,
+    series: tuple[tuple[int, int], ...] = SHARD_SERIES,
+) -> list[dict]:
+    """Time ``run_sharded`` across ``series``; return BENCH entries.
+
+    Every point runs the identical workload spec — each worker
+    re-synthesizes its own hash-partition of the trace, so the timed
+    region covers trace synthesis, simulation, and the metrics merge
+    (what a sharded run actually costs end to end).
+    """
+    from repro.shard import run_sharded
+
+    trace = TraceConfig(
+        dataset=BENCH_LIGHT,
+        n_requests=n_requests,
+        arrival_rate_per_s=rate_per_s,
+        seed=seed,
+    )
+    cluster = ClusterConfig(
+        n_instances=8,
+        instance=InstanceConfig(kv_capacity_tokens=60000),
+    )
+    available = _available_cores()
+    entries: list[dict] = []
+    for shards, workers in series:
+        start = time.perf_counter()
+        metrics = run_sharded(
+            trace,
+            policy=SHARD_POLICY,
+            config=cluster,
+            shards=shards,
+            workers=workers,
+        )
+        wall = time.perf_counter() - start
+        completed = len(metrics.requests)
+        rate = completed / wall if wall > 0 else 0.0
+        cores = max(1, min(workers, shards, available))
+        entries.append(
+            {
+                "name": f"shard.sim.{SHARD_POLICY}.k{shards}w{workers}",
+                "shards": shards,
+                "workers": workers,
+                "cores": cores,
+                "wall_s": wall,
+                "requests": completed,
+                "requests_per_s": rate,
+                "requests_per_s_per_core": rate / cores,
+            }
+        )
+    return entries

@@ -9,7 +9,7 @@ and written as a versioned ``BENCH_<date>.json`` perf-trajectory artifact:
 
     {
       "format": "pascal-bench",
-      "version": 2,
+      "version": 3,
       "created": "2026-07-31T12:00:00Z",
       "fingerprint": "<simulator code fingerprint>",
       "python": "3.12.3",
@@ -38,7 +38,16 @@ Version 2 additions: every ``fig9.sim.*`` entry carries ``requests_per_s``
 (the requests/s/core figure of merit — the suite is single-process, so
 per-process is per-core) and ``epoch_coalescing``; each policy also gets a
 ``.noepoch`` twin timed with decode-epoch coalescing disabled, an in-file
-A/B of the fast path against the pre-epoch stepping it replaced.  The
+A/B of the fast path against the pre-epoch stepping it replaced.
+
+Version 3 adds the ``shard.sim.*`` scaling series (:mod:`repro.bench.shard`):
+``run_sharded`` timed at a (shards, workers) ladder on a light synthetic
+workload, each entry carrying ``requests_per_s`` plus
+``requests_per_s_per_core`` (normalized by the cores the run could
+actually use, so single-core hosts report honest numbers).  Sized by
+``shard_requests`` (``--shard-requests``; 0 skips the series) — committed
+artifacts use 1M+ requests, where partitioned heaps and event queues
+separate from the monolithic engine.  The
 optional ``profile`` section (``bench --profile``) holds the top-N
 cumulative-time rows of a cProfile pass over a dedicated (untimed) fcfs
 run, so the next optimization round is evidence-led.
@@ -66,7 +75,7 @@ from repro.workload.datasets import ALPACA_EVAL
 from repro.workload.trace import TraceConfig, build_trace
 
 BENCH_FORMAT = "pascal-bench"
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: Policies timed on the fig9 hot path: the paper's baseline and PASCAL.
 BENCH_POLICIES = ("fcfs", "pascal")
@@ -169,6 +178,7 @@ def run_suite(
     repeats: int = 3,
     profile: bool = False,
     epoch_coalescing: bool = True,
+    shard_requests: int = 2000,
 ) -> dict:
     """Run every benchmark and return the BENCH JSON document.
 
@@ -216,6 +226,11 @@ def run_suite(
     ops = record_ops(drive)
     benchmarks.extend(bench_queue_replay(ops, repeats=repeats))
 
+    if shard_requests > 0:
+        from repro.bench.shard import bench_shard_scaling
+
+        benchmarks.extend(bench_shard_scaling(n_requests=shard_requests))
+
     doc = {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,
@@ -229,6 +244,7 @@ def run_suite(
             "seed": seed,
             "repeats": repeats,
             "epoch_coalescing": epoch_coalescing,
+            "shard_requests": shard_requests,
         },
         "benchmarks": benchmarks,
     }
@@ -252,6 +268,16 @@ def render_suite(result: dict) -> str:
                     bench["ops_per_s"],
                 ]
             )
+        elif bench["name"].startswith("shard.sim."):
+            # Scaling entries time whole requests, not engine events.
+            rows.append(
+                [
+                    bench["name"],
+                    bench["wall_s"],
+                    bench["requests"],
+                    bench["requests_per_s_per_core"],
+                ]
+            )
         else:
             rows.append(
                 [
@@ -262,7 +288,7 @@ def render_suite(result: dict) -> str:
                 ]
             )
     table = render_table(
-        ["benchmark", "wall_s", "events/ops", "rate_per_s"],
+        ["benchmark", "wall_s", "events/ops/reqs", "rate_per_s"],
         rows,
         title=f"[bench] simulator perf trajectory "
         f"(fingerprint {result['fingerprint']})",

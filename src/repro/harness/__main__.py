@@ -66,6 +66,7 @@ suite; this entry point is for interactive exploration.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
@@ -162,8 +163,36 @@ def _parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="`cache prune`: then evict least-recently-read entries "
-        "(oldest atime first) until the store is at most N bytes",
+        help="`cache prune`: then evict least-recently-used entries "
+        "(the store bumps an entry's mtime on every read) until the "
+        "store is at most N bytes",
+    )
+    shard = parser.add_argument_group("sharded simulation (repro.shard)")
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the simulated cluster K ways (instances and "
+        "arrivals hash-split across K epoch-synced engines; default 1 = "
+        "the single-engine path, byte-identical to omitting the flag)",
+    )
+    shard.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes hosting the K shards (default: one per "
+        "shard; 1 = serial in-process).  Execution knob only: results "
+        "are byte-identical for any N",
+    )
+    shard.add_argument(
+        "--shard-epoch",
+        type=float,
+        default=None,
+        metavar="S",
+        help="barrier spacing in simulated seconds for sharded runs "
+        "(default 30)",
     )
     bench = parser.add_argument_group("microbenchmarks (bench)")
     bench.add_argument(
@@ -186,6 +215,14 @@ def _parser() -> argparse.ArgumentParser:
         default=3,
         metavar="N",
         help="best-of repeats for the queue replays (default: 3)",
+    )
+    bench.add_argument(
+        "--shard-requests",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="requests per shard.sim.* scaling run (0 skips the series; "
+        "committed artifacts use 1000000; default: 2000)",
     )
     bench.add_argument(
         "--profile",
@@ -421,6 +458,7 @@ def _run_trace_compare(args) -> int:
             settings = ReplaySettings(
                 extensions=ExtensionPolicyConfig(pool=_parse_pool(args.pool))
             )
+        settings = _apply_shard_args(settings, args)
     except ValueError as exc:
         print(f"trace-compare: {exc}", file=sys.stderr)
         return 2
@@ -443,6 +481,28 @@ def _run_trace_compare(args) -> int:
             return 2
         print(f"replayed trace recorded -> {args.record_trace}")
     return 0
+
+
+def _apply_shard_args(settings: ReplaySettings, args) -> ReplaySettings:
+    """Thread ``--shards`` / ``--shard-epoch`` into replay settings.
+
+    ``--shard-workers`` is handled globally in :func:`main` — it is an
+    execution knob, deliberately kept out of the settings (and therefore
+    out of every cache key).
+    """
+    if args.shards is not None:
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        settings = dataclasses.replace(settings, shards=args.shards)
+    if args.shard_epoch is not None:
+        if args.shard_epoch <= 0:
+            raise ValueError(
+                f"--shard-epoch must be positive, got {args.shard_epoch:g}"
+            )
+        settings = dataclasses.replace(
+            settings, shard_epoch_s=args.shard_epoch
+        )
+    return settings
 
 
 def _run_import_trace(args) -> int:
@@ -589,6 +649,7 @@ def _run_bench(args) -> int:
         repeats=args.bench_repeats,
         profile=args.profile,
         epoch_coalescing=not args.no_epoch,
+        shard_requests=args.shard_requests,
     )
     print(render_suite(result))
     try:
@@ -643,6 +704,23 @@ def main(argv: list[str]) -> int:
         return 2
     if args.cache != "off":
         result_cache.configure(args.cache, args.cache_dir)
+    if args.shards is not None and args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        # Same pattern as --scale/$REPRO_SCALE: experiment settings built
+        # from for_scale() pick the shard count up from the environment,
+        # so it reaches sweep workers and cell specs (and cache keys)
+        # like any other settings field.
+        os.environ["REPRO_SHARDS"] = str(args.shards)
+    if args.shard_workers is not None:
+        from repro.shard import set_default_workers
+
+        try:
+            set_default_workers(args.shard_workers)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     trace_targets = [t for t in args.targets if t in TRACE_TARGETS]
     names = [t for t in args.targets if t not in TRACE_TARGETS and t != "bench"]

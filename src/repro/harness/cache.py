@@ -145,21 +145,51 @@ def code_fingerprint() -> str:
 # ---------------------------------------------------------------------------
 _file_hash_memo: dict[tuple, str] = {}
 
+#: Files below this size are always rehashed: an in-place rewrite that
+#: preserves the byte count *and* lands within the filesystem's mtime
+#: granularity (or a tar/rsync restore with preserved timestamps) is
+#: indistinguishable from the memoized file by (mtime_ns, size) alone,
+#: and small files — every trace a test writes — are exactly where such
+#: rewrites happen and where rehashing is cheap anyway.
+_HASH_MEMO_MIN_BYTES = 1 << 20
+
+
+def _stat_identity_trustworthy(stat: os.stat_result) -> bool:
+    """Can (mtime_ns, size) be trusted to witness unchanged content?
+
+    Not for small files (rehashing is cheaper than being wrong), and not
+    when the stored mtime is suspiciously coarse — an exact whole-second
+    ``mtime_ns`` is what FAT-class filesystems, archive restores and
+    second-resolution ``utime`` calls produce, where two different
+    contents can share one timestamp tick.
+    """
+    if stat.st_size < _HASH_MEMO_MIN_BYTES:
+        return False
+    return stat.st_mtime_ns % 1_000_000_000 != 0
+
 
 def file_sha256(path: str | os.PathLike) -> str:
-    """Content hash of a file, memoized on (path, mtime, size)."""
+    """Content hash of a file, memoized on (path, mtime_ns, size).
+
+    The memo is consulted only when that identity is trustworthy (see
+    :func:`_stat_identity_trustworthy`); otherwise the file is rehashed
+    every call, so a same-size in-place rewrite can never be served a
+    stale digest.
+    """
     path = os.path.abspath(path)
     stat = os.stat(path)
     memo_key = (path, stat.st_mtime_ns, stat.st_size)
-    cached = _file_hash_memo.get(memo_key)
-    if cached is not None:
-        return cached
+    if _stat_identity_trustworthy(stat):
+        cached = _file_hash_memo.get(memo_key)
+        if cached is not None:
+            return cached
     digest = hashlib.sha256()
     with open(path, "rb") as fh:
         for block in iter(lambda: fh.read(1 << 16), b""):
             digest.update(block)
     value = digest.hexdigest()
-    _file_hash_memo[memo_key] = value
+    if _stat_identity_trustworthy(stat):
+        _file_hash_memo[memo_key] = value
     return value
 
 
@@ -365,7 +395,25 @@ class DiskCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._record_access(path)
         return entry["payload"]
+
+    @staticmethod
+    def _record_access(path: Path) -> None:
+        """Bump the entry's mtime so eviction can see read-hotness.
+
+        ``prune --max-bytes`` evicts least-recently-*used* entries, but on
+        ``noatime``/``relatime`` mounts (the common case) atime never
+        advances on reads — so last-use is recorded inside the store
+        instead, as an mtime bump on every hit.  Entries never read since
+        their write keep the write mtime, which is the natural fallback.
+        Best-effort: a read-only store (a CI artifact, someone else's
+        directory) simply keeps write-time ordering.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     # -- write ---------------------------------------------------------
     def store(self, key: str, kind: str, spec: dict, payload) -> bool:
@@ -491,8 +539,15 @@ class DiskCache:
         max_bytes: int | None = None,
     ) -> int:
         """Drop stale-fingerprint, corrupt, and (optionally) old entries;
-        then, with ``max_bytes``, evict least-recently-read entries
-        (oldest atime first) until the store fits the byte budget.
+        then, with ``max_bytes``, evict least-recently-used entries until
+        the store fits the byte budget.
+
+        Recency is the entry's mtime: :meth:`load` bumps it on every hit
+        (see :meth:`_record_access`), so "oldest mtime" means "neither
+        written nor read for the longest" — unlike atime, which on
+        ``noatime``/``relatime`` mounts silently degrades to creation
+        order and evicts read-hot entries.  ``max_age_days`` uses the same
+        clock, so "old" likewise means unused, not merely created early.
 
         Only cache entry files (``??/*.json.gz`` under the store root) are
         ever deleted — anything else living in the directory is not ours
@@ -524,7 +579,7 @@ class DiskCache:
                     stat = path.stat()
                 except FileNotFoundError:
                     continue
-                survivors.append((stat.st_atime, path, stat.st_size))
+                survivors.append((stat.st_mtime_ns, path, stat.st_size))
                 total += stat.st_size
             survivors.sort()
             for _, path, size in survivors:

@@ -97,13 +97,28 @@ class EvalSettings:
     extensions: ExtensionPolicyConfig = field(
         default_factory=ExtensionPolicyConfig
     )
+    #: Cluster partitions simulated via :mod:`repro.shard` (1 = the
+    #: single-engine path).  Part of the cell spec: sharding partitions
+    #: the deployment itself, so results are re-addressed.  Worker-process
+    #: count is *not* here — it is an execution knob (like ``--jobs``)
+    #: that provably cannot change a byte.
+    shards: int = 1
+    #: Barrier spacing for sharded runs (simulated seconds; ignored at
+    #: ``shards=1``).  Results are pacing-invariant absent a cross-shard
+    #: admission gate, but the knob stays in the spec so any future
+    #: gate-carrying settings re-address conservatively.
+    shard_epoch_s: float = 30.0
 
     @classmethod
     def for_scale(cls, scale: str | None = None) -> "EvalSettings":
         scale = scale or default_scale()
+        # Like $REPRO_SCALE, the CLI's --shards travels by environment so
+        # it reaches every settings construction (including ones inside
+        # sweep workers) and lands in the cell spec like any field.
+        shards = int(os.environ.get("REPRO_SHARDS", "1"))
         if scale == "paper":
-            return cls(trace_residency_multiple=6.0)
-        return cls()
+            return cls(trace_residency_multiple=6.0, shards=shards)
+        return cls(shards=shards)
 
     def cluster_config(self) -> ClusterConfig:
         instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
@@ -438,30 +453,45 @@ def run_evaluation(
         raise KeyError(
             f"unknown rate tier {rate_tier!r}; expected {sorted(rates)}"
         )
-    # Thin client of the serving-session façade: the synthetic workload
-    # streams into the engine incrementally (no up-front request list),
-    # and the result is byte-identical to the old batch preload — the
-    # golden tables pin that equivalence.
-    session = ServingSession(policy=policy, config=settings.cluster_config())
-    session.attach(
-        SyntheticSource(
-            TraceConfig(
-                dataset=dataset,
-                n_requests=settings.n_requests_for(dataset),
-                arrival_rate_per_s=rates[rate_tier],
-                seed=settings.seed,
-            )
-        )
+    trace_config = TraceConfig(
+        dataset=dataset,
+        n_requests=settings.n_requests_for(dataset),
+        arrival_rate_per_s=rates[rate_tier],
+        seed=settings.seed,
     )
-    _count_simulation()
-    session.step()
-    if not session.cluster.all_finished():
-        raise RuntimeError(
-            f"run did not drain: {session.n_completed}/"
-            f"{session.n_submitted} finished "
-            f"({dataset.name}, {rate_tier}, {policy})"
+    if settings.shards > 1:
+        # K-way partitioned deployment: repro.shard splits instances and
+        # arrivals across per-shard engines (epoch-synced; see
+        # docs/sharding.md).  Capacity probes above stay anchored to the
+        # unsharded cluster, so rate tiers mean the same thing at any K.
+        from repro.shard import run_sharded
+
+        _count_simulation()
+        metrics = run_sharded(
+            trace_config,
+            policy=policy,
+            config=settings.cluster_config(),
+            shards=settings.shards,
+            epoch_s=settings.shard_epoch_s,
         )
-    metrics = session.metrics()
+    else:
+        # Thin client of the serving-session façade: the synthetic
+        # workload streams into the engine incrementally (no up-front
+        # request list), and the result is byte-identical to the old
+        # batch preload — the golden tables pin that equivalence.
+        session = ServingSession(
+            policy=policy, config=settings.cluster_config()
+        )
+        session.attach(SyntheticSource(trace_config))
+        _count_simulation()
+        session.step()
+        if not session.cluster.all_finished():
+            raise RuntimeError(
+                f"run did not drain: {session.n_completed}/"
+                f"{session.n_submitted} finished "
+                f"({dataset.name}, {rate_tier}, {policy})"
+            )
+        metrics = session.metrics()
     _eval_cache[key] = metrics
     _disk_store(cell, metrics)
     return metrics
@@ -477,6 +507,9 @@ class ReplaySettings:
     extensions: ExtensionPolicyConfig = field(
         default_factory=ExtensionPolicyConfig
     )
+    #: Cluster partitions for the replay (see :class:`EvalSettings`).
+    shards: int = 1
+    shard_epoch_s: float = 30.0
 
     def cluster_config(self) -> ClusterConfig:
         instance = InstanceConfig(kv_capacity_tokens=self.kv_capacity_tokens)
@@ -495,11 +528,13 @@ def _replay_key(
 ) -> tuple:
     # Unlike the synthesis caches, the path alone does not determine the
     # workload — the file can be rewritten in place.  Key on the file's
-    # identity (mtime + size) too, so a stale entry is never returned.
+    # *content* (same memoized hasher the disk store uses): a stat-based
+    # identity (mtime + size) misses in-place rewrites that preserve the
+    # byte count within the filesystem's mtime granularity, and archive
+    # restores that preserve timestamps outright.
     path = os.path.abspath(trace.path)
     try:
-        stat = os.stat(path)
-        identity = (stat.st_mtime_ns, stat.st_size)
+        identity = result_cache.file_sha256(path)
     except OSError:
         identity = None  # missing file: load_trace will raise on the run
     return (path, identity, trace.rate_scale, policy, settings)
@@ -528,21 +563,43 @@ def run_replay(
     if disk_hit is not None:
         _replay_cache[key] = disk_hit
         return disk_hit
-    # Thin client of the serving-session façade: records stream from disk
-    # one validated line at a time instead of loading up front
-    # (TraceFormatError surfaces on the offending line, mid-run).
-    session = ServingSession(policy=policy, config=settings.cluster_config())
-    session.attach(TraceFileSource(trace))
-    _count_simulation()
-    session.step()
-    if session.n_submitted == 0:
-        raise TraceFormatError(trace.path, 1, "trace contains no requests")
-    if not session.cluster.all_finished():
-        raise RuntimeError(
-            f"replay did not drain: {session.n_completed}/"
-            f"{session.n_submitted} finished ({trace.name}, {policy})"
+    if settings.shards > 1:
+        # Partitioned replay: each shard worker streams its own hash-
+        # partition of the trace file (see docs/sharding.md).
+        from repro.shard import run_sharded
+
+        _count_simulation()
+        metrics = run_sharded(
+            trace,
+            policy=policy,
+            config=settings.cluster_config(),
+            shards=settings.shards,
+            epoch_s=settings.shard_epoch_s,
         )
-    metrics = session.metrics()
+        if not metrics.requests and not metrics.rejected:
+            raise TraceFormatError(
+                trace.path, 1, "trace contains no requests"
+            )
+    else:
+        # Thin client of the serving-session façade: records stream from
+        # disk one validated line at a time instead of loading up front
+        # (TraceFormatError surfaces on the offending line, mid-run).
+        session = ServingSession(
+            policy=policy, config=settings.cluster_config()
+        )
+        session.attach(TraceFileSource(trace))
+        _count_simulation()
+        session.step()
+        if session.n_submitted == 0:
+            raise TraceFormatError(
+                trace.path, 1, "trace contains no requests"
+            )
+        if not session.cluster.all_finished():
+            raise RuntimeError(
+                f"replay did not drain: {session.n_completed}/"
+                f"{session.n_submitted} finished ({trace.name}, {policy})"
+            )
+        metrics = session.metrics()
     _replay_cache[key] = metrics
     _disk_store(cell, metrics, disk_ref)
     return metrics
@@ -714,9 +771,9 @@ def _store_cell(cell: Cell, result, replay_key: tuple | None = None) -> None:
     """Seed the memoization caches with a worker-produced result.
 
     ``replay_key`` is the cell's cache key snapshotted at *dispatch* time:
-    a replay key embeds the trace file's identity (mtime + size), so
-    computing it after the run would file results from the old content
-    under a concurrently rewritten file's identity.
+    a replay key embeds the trace file's content hash, so computing it
+    after the run would file results from the old content under a
+    concurrently rewritten file's identity.
     """
     if isinstance(cell, EvalCell):
         key = (cell.dataset.name, cell.tier, cell.policy, cell.settings)

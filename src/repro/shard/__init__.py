@@ -1,0 +1,71 @@
+"""``repro.shard`` — K-partition, epoch-synced sharded simulation.
+
+Scale one simulated deployment across processes: the cluster splits into
+``K`` sub-clusters, each simulated by its own engine in a shard worker,
+fed by a deterministic hash-partition of the arrival stream
+(:func:`~repro.api.sources.shard_of` on the request id — a stable
+function, never Python's per-process ``hash()``).  Cross-shard coupling
+(pool-wide admission census) is exchanged at fixed-length epoch barriers;
+per-shard metrics merge into one
+:class:`~repro.metrics.collector.RunMetrics`.
+
+Determinism contract (pinned by ``tests/test_shard.py``; rationale in
+``docs/sharding.md``):
+
+* ``shards=1`` is byte-identical to the single-engine path — the golden
+  tables do not move;
+* for fixed ``shards``, results are invariant to execution strategy:
+  worker count, worker grouping, and epoch pacing (absent a cross-shard
+  admission gate) never change a byte;
+* ``shards=K>1`` simulates a *K-way partitioned deployment* — a
+  different (realistic) system than one globally scheduled cluster, so
+  results legitimately differ from ``shards=1``.
+
+Entry point: :func:`run_sharded`.  The harness routes through it whenever
+a spec's ``shards`` setting exceeds 1 (``--shards K`` on the CLI).
+"""
+
+from repro.shard.coordinator import (
+    DEFAULT_EPOCH_S,
+    run_sharded,
+    set_default_workers,
+)
+from repro.shard.merge import merge_metrics
+from repro.shard.partitioner import (
+    PartitionedSource,
+    partition_counts,
+    partition_offsets,
+    partitions_of,
+    shard_of,
+    stable_shard64,
+)
+from repro.shard.protocol import (
+    EpochDirective,
+    EpochReport,
+    GlobalAccounting,
+    GlobalClusterView,
+    ShardedAdmission,
+    ShardTask,
+)
+from repro.shard.worker import ShardWorker, shard_worker_main
+
+__all__ = [
+    "DEFAULT_EPOCH_S",
+    "EpochDirective",
+    "EpochReport",
+    "GlobalAccounting",
+    "GlobalClusterView",
+    "PartitionedSource",
+    "ShardTask",
+    "ShardWorker",
+    "ShardedAdmission",
+    "merge_metrics",
+    "partition_counts",
+    "partition_offsets",
+    "partitions_of",
+    "run_sharded",
+    "set_default_workers",
+    "shard_of",
+    "shard_worker_main",
+    "stable_shard64",
+]

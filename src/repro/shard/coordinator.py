@@ -1,0 +1,285 @@
+"""The sharded-run coordinator: partition, drive epochs, merge.
+
+:func:`run_sharded` is the one entry point.  It splits the cluster into
+``shards`` sub-clusters (:func:`~repro.shard.partitioner.partition_counts`),
+hash-partitions the arrival stream across them, and drives every shard
+through the epoch-barrier protocol until the pool drains, then merges the
+per-shard metrics into one :class:`~repro.metrics.collector.RunMetrics`.
+
+Two drivers speak the identical protocol:
+
+* **serial** (``workers=1``): all shard workers live in this process and
+  run each epoch in shard order — no pickling of simulation state, no
+  child processes, and the fallback whenever spawning is impossible
+  (daemonic pool workers, e.g. inside ``sweep(jobs=N)``).
+* **parallel** (``workers>1``): workers are grouped onto child processes
+  and exchange directives/reports over pipes, so shards simulate their
+  epochs concurrently.
+
+Both feed the same fold (:func:`_drive`), and results travel through the
+same payload codec either way, so for a fixed ``shards`` the two drivers
+are byte-identical — worker count is an execution knob, like ``--jobs``,
+and never part of a result's identity.
+
+Epoch pacing is the other non-semantic knob: barriers only *observe* the
+simulation (``Cluster.epoch_boundary`` creates no events), so for a fixed
+``shards`` any ``epoch_s`` yields the same result when no cross-shard
+admission gate is installed, and census staleness — bounded by one epoch
+— is the only ``epoch_s``-sensitive effect when one is.  Globally idle
+stretches are skipped: when every shard's next event lies beyond the next
+barrier, the coordinator jumps straight to the barrier containing the
+earliest pending event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+from repro.api.admission import AdmissionPolicy
+from repro.api.sources import ArrivalSource
+from repro.config import ClusterConfig
+from repro.harness.cache import metrics_from_payload
+from repro.metrics.collector import RunMetrics
+from repro.shard.merge import merge_metrics
+from repro.shard.partitioner import partition_counts, partition_offsets
+from repro.shard.protocol import (
+    EpochDirective,
+    EpochReport,
+    ShardTask,
+    ShardWorkload,
+)
+from repro.shard.worker import ShardWorker, shard_worker_main
+from repro.workload.request import Request
+from repro.workload.trace import ReplayTraceConfig, TraceConfig
+
+#: Default barrier spacing in simulated seconds.  Coarse on purpose:
+#: barriers are cheap but not free (a full instance sync + one pipe
+#: round-trip per shard), and the census they refresh only matters to
+#: cross-shard admission gates.
+DEFAULT_EPOCH_S = 30.0
+
+#: ``(kind, payload)`` messages a worker group sends back (see
+#: :func:`repro.shard.worker.shard_worker_main`).
+_REPORTS = "reports"
+_RESULTS = "results"
+_ERROR = "error"
+
+#: Process-wide default for ``run_sharded(workers=None)``; None means one
+#: process per shard.  An execution knob, never part of a result's
+#: identity — which is why it is set out-of-band (the CLI's
+#: ``--shard-workers``) instead of riding in the settings dataclasses
+#: that feed the cache key.
+_default_workers: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set the process-wide worker default (None restores one-per-shard)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _default_workers = workers
+
+
+def run_sharded(
+    workload: ShardWorkload | ArrivalSource | Iterable[Request],
+    policy: str = "pascal",
+    config: ClusterConfig | None = None,
+    shards: int = 1,
+    epoch_s: float = DEFAULT_EPOCH_S,
+    workers: int | None = None,
+    admission: AdmissionPolicy | None = None,
+) -> RunMetrics:
+    """Run one workload on a ``shards``-way partitioned cluster.
+
+    ``config`` describes the *whole* pool; its ``n_instances`` are divided
+    near-evenly across shards, and arrivals route to shards by
+    :func:`~repro.api.sources.shard_of` on the request id.  ``workers``
+    bounds child processes (default: one per shard; 1 = serial,
+    in-process).  ``admission``, when given, gates arrivals on pool-wide
+    load via :class:`~repro.shard.protocol.ShardedAdmission`.
+
+    With ``shards=1`` this is exactly the single-engine path — one
+    partition containing every instance and every request — and the
+    result is byte-identical to ``ServingSession`` + ``drain()`` (pinned
+    by ``tests/test_shard.py``).
+    """
+    config = config or ClusterConfig()
+    if epoch_s <= 0:
+        raise ValueError(f"epoch_s must be positive, got {epoch_s}")
+    counts = partition_counts(config.n_instances, shards)
+    offsets = partition_offsets(counts)
+    spec = _workload_spec(workload)
+    tasks = tuple(
+        ShardTask(
+            shard=shard,
+            n_shards=shards,
+            policy=policy,
+            config=dataclasses.replace(config, n_instances=counts[shard]),
+            iid_offset=offsets[shard],
+            workload=spec,
+            admission=admission,
+        )
+        for shard in range(shards)
+    )
+    if workers is None:
+        workers = _default_workers
+    n_procs = shards if workers is None else max(1, min(workers, shards))
+    if n_procs > 1 and multiprocessing.current_process().daemon:
+        # Daemonic processes (e.g. sweep()'s pool workers) cannot spawn
+        # children; the serial driver is byte-identical, just slower.
+        n_procs = 1
+    if n_procs == 1:
+        results = _run_serial(tasks, epoch_s)
+    else:
+        results = _run_parallel(tasks, epoch_s, n_procs)
+    results.sort(key=lambda item: item[0])
+    return merge_metrics(
+        [metrics_from_payload(payload) for _, payload in results]
+    )
+
+
+def _workload_spec(
+    workload: ShardWorkload | ArrivalSource | Iterable[Request],
+) -> ShardWorkload:
+    """Normalize a workload into a picklable, re-iterable task payload.
+
+    Arbitrary :class:`ArrivalSource` objects are rejected rather than
+    silently materialized: sources are single-use iterables and may be
+    unbounded, so callers must hand over the underlying config (re-
+    synthesized per worker) or a finite request list (deep-copied per
+    worker).
+    """
+    if isinstance(workload, (TraceConfig, ReplayTraceConfig)):
+        return workload
+    if isinstance(workload, ArrivalSource):
+        raise TypeError(
+            f"run_sharded cannot partition a bare "
+            f"{type(workload).__name__}: sources are single-use; pass the "
+            f"underlying TraceConfig/ReplayTraceConfig or a request list"
+        )
+    if isinstance(workload, Iterable):
+        return tuple(workload)
+    raise TypeError(
+        f"cannot build a sharded workload from {type(workload).__name__!r}"
+    )
+
+
+def _drive(
+    n_shards: int,
+    epoch_s: float,
+    exchange: Callable[[EpochDirective], list[EpochReport]],
+    collect: Callable[[], list[tuple[int, dict]]],
+) -> list[tuple[int, dict]]:
+    """The barrier loop both drivers share.
+
+    Broadcasts directives until every shard is drained, then asks for
+    final results.  The fold is deterministic: reports are ordered by
+    shard id before any reduction, and the next barrier time is a pure
+    function of the current one and the shard-minimum next event time.
+    """
+    epoch = 0
+    end_t = epoch_s
+    peer_active: tuple[int, ...] = ()
+    peer_kv: tuple[int, ...] = ()
+    while True:
+        directive = EpochDirective(
+            epoch=epoch,
+            end_t=end_t,
+            peer_active=peer_active,
+            peer_kv=peer_kv,
+        )
+        reports = sorted(exchange(directive), key=lambda r: r.shard)
+        if len(reports) != n_shards:
+            raise RuntimeError(
+                f"epoch {epoch}: expected {n_shards} reports, "
+                f"got {len(reports)}"
+            )
+        peer_active = tuple(r.active_requests for r in reports)
+        peer_kv = tuple(r.kv_tokens for r in reports)
+        pending = [
+            r.next_event_t for r in reports if r.next_event_t is not None
+        ]
+        if not pending:
+            break  # every shard drained: feeds exhausted, queues empty
+        epoch += 1
+        end_t += epoch_s
+        target = min(pending)
+        if target > end_t:
+            # Globally idle epoch(s): jump to the barrier whose window
+            # contains the earliest pending event.  ceil keeps barriers
+            # on the fixed epoch grid, so pacing stays reproducible.
+            end_t = max(end_t, epoch_s * math.ceil(target / epoch_s))
+    return collect()
+
+
+def _run_serial(
+    tasks: Sequence[ShardTask], epoch_s: float
+) -> list[tuple[int, dict]]:
+    """All shards in this process, each epoch walked in shard order."""
+    workers = [ShardWorker(task) for task in tasks]
+
+    def exchange(directive: EpochDirective) -> list[EpochReport]:
+        return [worker.run_epoch(directive) for worker in workers]
+
+    def collect() -> list[tuple[int, dict]]:
+        return [worker.result() for worker in workers]
+
+    return _drive(len(tasks), epoch_s, exchange, collect)
+
+
+def _run_parallel(
+    tasks: Sequence[ShardTask], epoch_s: float, n_procs: int
+) -> list[tuple[int, dict]]:
+    """Shard workers grouped onto ``n_procs`` child processes."""
+    groups = [list(tasks[g::n_procs]) for g in range(n_procs)]
+    groups = [group for group in groups if group]
+    conns = []
+    procs = []
+    try:
+        for group in groups:
+            parent, child = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=shard_worker_main, args=(group, child), daemon=True
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        def _gather(expect: str) -> list:
+            gathered: list = []
+            for conn in conns:
+                kind, payload = conn.recv()
+                if kind == _ERROR:
+                    raise RuntimeError(f"shard worker failed:\n{payload}")
+                if kind != expect:
+                    raise RuntimeError(
+                        f"protocol violation: expected {expect!r} message, "
+                        f"got {kind!r}"
+                    )
+                gathered.extend(payload)
+            return gathered
+
+        def exchange(directive: EpochDirective) -> list[EpochReport]:
+            for conn in conns:
+                conn.send(directive)
+            return _gather(_REPORTS)
+
+        def collect() -> list[tuple[int, dict]]:
+            stop = EpochDirective(epoch=-1, end_t=0.0, stop=True)
+            for conn in conns:
+                conn.send(stop)
+            return _gather(_RESULTS)
+
+        return _drive(len(tasks), epoch_s, exchange, collect)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+                proc.join()

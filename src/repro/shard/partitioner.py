@@ -1,0 +1,97 @@
+"""Deterministic workload and cluster partitioning for sharded runs.
+
+The partitioning primitives themselves (:func:`stable_shard64`,
+:func:`shard_of`, :class:`PartitionedSource`) live in
+:mod:`repro.api.sources` — the public workload layer — and are re-exported
+here so shard-internal code has one import site.  The dependency direction
+is deliberate: ``repro.api`` must never import ``repro.shard`` (the
+coordinator builds :class:`~repro.api.session.ServingSession` objects), so
+anything the API layer needs lives on the API side.
+
+This module adds the *cluster*-side split: how ``n_instances`` simulation
+instances divide into ``n_shards`` sub-clusters, and where each shard's
+instance ids land in the global numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.sources import (
+    ArrivalSource,
+    MergedSource,
+    PartitionedSource,
+    SourceLike,
+    as_source,
+    shard_of,
+    stable_shard64,
+)
+
+__all__ = [
+    "ArrivalSource",
+    "MergedSource",
+    "PartitionedSource",
+    "SourceLike",
+    "as_source",
+    "partition_counts",
+    "partition_offsets",
+    "partitions_of",
+    "shard_of",
+    "stable_shard64",
+]
+
+
+def partition_counts(n_instances: int, n_shards: int) -> tuple[int, ...]:
+    """Instances per shard for an ``n_shards``-way split of the cluster.
+
+    Near-even and deterministic: shard ``k`` gets ``n // K`` instances
+    plus one of the ``n % K`` remainders, assigned to the lowest-numbered
+    shards.  Every shard gets at least one instance — a shard with no
+    instances could never place a request, so over-splitting is an error,
+    not a degenerate run.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > n_instances:
+        raise ValueError(
+            f"cannot split {n_instances} instance(s) into {n_shards} "
+            f"shards: every shard needs at least one instance"
+        )
+    base, extra = divmod(n_instances, n_shards)
+    return tuple(
+        base + (1 if shard < extra else 0) for shard in range(n_shards)
+    )
+
+
+def partition_offsets(counts: Sequence[int]) -> tuple[int, ...]:
+    """Global instance-id base of each shard (prefix sums of ``counts``).
+
+    Shard ``k`` owns global instance ids ``[offsets[k], offsets[k] +
+    counts[k])``; workers number instances locally from 0 and the
+    coordinator adds the offset back when merging metrics, so a merged
+    run reads like one cluster with contiguous instance ids.
+    """
+    offsets: list[int] = []
+    total = 0
+    for count in counts:
+        offsets.append(total)
+        total += count
+    return tuple(offsets)
+
+
+def partitions_of(
+    workload: SourceLike, n_shards: int
+) -> tuple[PartitionedSource, ...]:
+    """The ``n_shards`` hash-partitions of one workload, in shard order.
+
+    The partitions are disjoint and jointly exhaustive; recombining them
+    with :class:`MergedSource` reproduces the original stream (see
+    :class:`PartitionedSource` for the equal-time tie-break caveat).  The
+    base is iterated once per partition, so ``workload`` must build a
+    fresh iterator per ``__iter__`` — true of every config-backed source
+    and of materialized request lists.
+    """
+    base = as_source(workload)
+    return tuple(
+        PartitionedSource(base, shard, n_shards) for shard in range(n_shards)
+    )

@@ -1,0 +1,206 @@
+"""The epoch-barrier protocol: what coordinator and workers exchange.
+
+A sharded run advances in fixed-length *epochs* of simulated time.  At
+each barrier the coordinator broadcasts one :class:`EpochDirective`
+(where to stop, plus the previous barrier's cluster-wide census) and
+every worker answers with one :class:`EpochReport` (progress counters and
+the timestamp of its next pending event).  Both are small frozen
+dataclasses so the exchange pickles cheaply over a pipe and is trivially
+replayable in-process — the serial and multiprocess drivers speak exactly
+the same protocol, which is what makes them byte-identical.
+
+Cross-shard state is *census-grade*, not event-grade: a worker never sees
+a peer's requests, only aggregate counts frozen at the last barrier.
+:class:`ShardedAdmission` is the consumer — it lets any existing
+:class:`~repro.api.admission.AdmissionPolicy` gate on pool-wide load by
+presenting the local cluster plus the peer census as one duck-typed
+cluster view.  The census is at most one epoch stale by construction;
+``docs/sharding.md`` spells out the staleness contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.api.admission import AdmissionDecision, AdmissionPolicy
+from repro.config import ClusterConfig
+from repro.workload.request import Request
+from repro.workload.trace import ReplayTraceConfig, TraceConfig
+
+if TYPE_CHECKING:  # annotation-only: keep the runtime import graph acyclic
+    from repro.cluster.cluster import Cluster
+
+#: Workload shapes a :class:`ShardTask` can carry to a worker process.
+#: Configs re-synthesize per worker; request tuples are deep-copied by the
+#: worker so simulation never mutates caller-owned objects.
+ShardWorkload = TraceConfig | ReplayTraceConfig | tuple[Request, ...]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to simulate its partition.
+
+    Self-contained and picklable: the worker rebuilds its sub-cluster,
+    admission gate and partitioned arrival stream from this alone, so a
+    task runs identically in-process or in a spawned worker.
+    """
+
+    #: This worker's partition index in ``[0, n_shards)``.
+    shard: int
+    n_shards: int
+    #: Registered cluster-policy name (instances are not picklable).
+    policy: str
+    #: The *sub-cluster* shape: ``n_instances`` already divided down.
+    config: ClusterConfig
+    #: Global instance-id base (see ``partition_offsets``).
+    iid_offset: int
+    workload: ShardWorkload
+    #: Base admission gate, or None for admit-everything.  Wrapped in
+    #: :class:`ShardedAdmission` by the worker when ``n_shards > 1``.
+    admission: AdmissionPolicy | None = None
+
+
+@dataclass(frozen=True)
+class EpochDirective:
+    """Coordinator -> workers: advance to ``end_t``, then report.
+
+    Carries the previous barrier's census (``peer_active[k]`` /
+    ``peer_kv[k]`` are shard ``k``'s on-cluster request count and KV
+    footprint), indexed by shard id.  Empty tuples mean "no census yet"
+    (the first epoch).  ``stop=True`` asks for final results instead of
+    another epoch.
+    """
+
+    epoch: int
+    end_t: float
+    stop: bool = False
+    peer_active: tuple[int, ...] = ()
+    peer_kv: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Worker -> coordinator: state at the ``end_t`` barrier.
+
+    ``next_event_t`` is the timestamp of the shard's next pending event
+    (None when drained) — the coordinator uses the minimum across shards
+    to fast-forward over globally idle epochs without losing barrier
+    alignment.  ``active_requests``/``kv_tokens`` seed the next
+    directive's census.
+    """
+
+    shard: int
+    epoch: int
+    end_t: float
+    active: bool
+    next_event_t: float | None
+    submitted: int
+    completed: int
+    rejected: int
+    in_flight: int
+    active_requests: int
+    kv_tokens: int
+
+
+class GlobalAccounting:
+    """A worker's view of the pool-wide census, updated at each barrier.
+
+    Holds the *peer* totals (own shard excluded) so local live state and
+    barrier-frozen remote state never double-count.
+    """
+
+    __slots__ = ("shard", "n_shards", "peer_active", "peer_kv")
+
+    def __init__(self, shard: int, n_shards: int):
+        self.shard = shard
+        self.n_shards = n_shards
+        self.peer_active = 0
+        self.peer_kv = 0
+
+    def apply(self, directive: EpochDirective) -> None:
+        """Fold one directive's census into the peer totals."""
+        if directive.peer_active:
+            self.peer_active = (
+                sum(directive.peer_active) - directive.peer_active[self.shard]
+            )
+        if directive.peer_kv:
+            self.peer_kv = (
+                sum(directive.peer_kv) - directive.peer_kv[self.shard]
+            )
+
+
+class _PeerLoad:
+    """Pseudo-instance aggregating the peer shards' barrier census.
+
+    Appended to the instance list a :class:`GlobalClusterView` exposes, so
+    footprint-summing admission policies (e.g.
+    :class:`~repro.api.admission.KVBudgetAdmission`) see remote KV tokens
+    without knowing about sharding.  It reports no free capacity —
+    placement never reads it because placement happens in the cluster
+    policy, which only ever sees the real local instances.
+    """
+
+    __slots__ = ("_accounting",)
+
+    def __init__(self, accounting: GlobalAccounting):
+        self._accounting = accounting
+
+    def total_kv_tokens(self) -> int:
+        return self._accounting.peer_kv
+
+    def live_requests(self) -> int:
+        return self._accounting.peer_active
+
+    def gpu_free_tokens(self) -> int:
+        return 0
+
+
+class GlobalClusterView:
+    """Duck-typed cluster proxy: local live state + peer barrier census.
+
+    Presented to the wrapped admission policy in place of the real
+    :class:`~repro.cluster.cluster.Cluster`.  The load reads admission
+    policies use (``active_requests()``, ``in_flight()``, the instance
+    list's KV footprint) are widened by the peer totals; everything else
+    passes through to the local cluster unchanged.
+    """
+
+    def __init__(self, cluster: "Cluster", accounting: GlobalAccounting):
+        self._cluster = cluster
+        self._accounting = accounting
+
+    def active_requests(self) -> int:
+        return self._cluster.active_requests() + self._accounting.peer_active
+
+    def in_flight(self) -> int:
+        return self._cluster.in_flight() + self._accounting.peer_active
+
+    @property
+    def instances(self) -> list:
+        return [*self._cluster.instances, _PeerLoad(self._accounting)]
+
+    def __getattr__(self, name: str):
+        return getattr(self._cluster, name)
+
+
+class ShardedAdmission(AdmissionPolicy):
+    """Adapt any admission policy to pool-wide accounting.
+
+    Wraps a base policy and hands it a :class:`GlobalClusterView`, so a
+    bound written for one cluster ("at most N in flight", "KV footprint
+    under B tokens") gates on the *whole pool*: local state is live,
+    remote state is the last barrier's census (staleness <= one epoch).
+    The decision itself — admit, reject, defer — is entirely the base
+    policy's.
+    """
+
+    def __init__(self, base: AdmissionPolicy, accounting: GlobalAccounting):
+        self.base = base
+        self.accounting = accounting
+
+    def decide(
+        self, cluster: "Cluster", req: Request, now: float
+    ) -> AdmissionDecision:
+        view = GlobalClusterView(cluster, self.accounting)
+        return self.base.decide(view, req, now)  # type: ignore[arg-type]

@@ -135,6 +135,50 @@ class TestCellKeys:
         after = cell_key(ReplayCell(small_trace, "fcfs", SMALL_REPLAY))
         assert before != after
 
+    def test_inplace_same_size_rewrite_recomputes(self, small_trace, tmp_path):
+        """Regression: the replay memo must key on *content*, not stat.
+
+        An in-place rewrite that preserves the byte count and lands within
+        the filesystem's mtime granularity (simulated exactly here by
+        restoring mtime_ns) used to satisfy the old (mtime_ns, size)
+        identity and serve the previous trace's metrics.
+        """
+        import os
+
+        path = tmp_path / "trace.jsonl"
+        first = run_replay(small_trace, "fcfs", SMALL_REPLAY)
+        assert simulation_count() == 1
+        stat = path.stat()
+        lines = path.read_text().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        old = record["reasoning_len"]
+        delta = 100 if old >= 200 else 1
+        new = old + delta if len(str(old + delta)) == len(str(old)) else old - delta
+        lines[1] = lines[1].replace(
+            f'"reasoning_len": {old}', f'"reasoning_len": {new}', 1
+        )
+        path.write_text("".join(lines))
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert path.stat().st_size == stat.st_size
+        assert path.stat().st_mtime_ns == stat.st_mtime_ns
+        second = run_replay(small_trace, "fcfs", SMALL_REPLAY)
+        assert simulation_count() == 2  # recomputed, not served stale
+        assert metrics_payload(first) != metrics_payload(second)
+
+    def test_file_sha256_sees_same_size_rewrite_with_restored_mtime(
+        self, tmp_path
+    ):
+        """The memoized hasher itself must not trust a coarse identity."""
+        import os
+
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"a" * 512)
+        stat = path.stat()
+        before = cache.file_sha256(path)
+        path.write_bytes(b"b" * 512)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert cache.file_sha256(path) != before
+
     def test_fingerprint_mixed_into_key(self, monkeypatch):
         cell = CharCell("reasoning", "fcfs", SMALL_CHAR)
         before = cell_key(cell)
@@ -396,7 +440,12 @@ class TestSweepParity:
 
 
 class TestSizePrune:
-    """``cache prune --max-bytes``: oldest-atime-first size eviction."""
+    """``cache prune --max-bytes``: least-recently-used size eviction.
+
+    Recency is the entry mtime, bumped by every ``load`` hit — *not*
+    atime, which on ``noatime``/``relatime`` mounts never advances on
+    reads and silently degrades eviction to creation order.
+    """
 
     def seed_entries(self, store, n=4):
         import os
@@ -408,17 +457,17 @@ class TestSizePrune:
                 key, "eval", {"kind": "eval", "i": i}, {"payload": "x" * 400}
             )
             keys.append(key)
-        # Distinct, increasing atimes: key 00 is the least recently read.
+        # Distinct, increasing last-use times: key 00 least recently used.
         for i, key in enumerate(keys):
             path = store.entry_path(key)
-            os.utime(path, (1_000_000 + i * 1000, path.stat().st_mtime))
+            os.utime(path, (1_000_000 + i * 1000, 1_000_000 + i * 1000))
         return keys
 
-    def test_prunes_oldest_atime_first_down_to_budget(self, store):
+    def test_prunes_least_recently_used_first_down_to_budget(self, store):
         keys = self.seed_entries(store)
         sizes = {k: store.entry_path(k).stat().st_size for k in keys}
         total = sum(sizes.values())
-        # Budget for exactly the three most recently read entries.
+        # Budget for exactly the three most recently used entries.
         budget = total - sizes[keys[0]]
         removed = store.prune(max_bytes=budget)
         assert removed == 1
@@ -426,6 +475,29 @@ class TestSizePrune:
         assert all(store.entry_path(k).exists() for k in keys[1:])
         remaining = sum(p.stat().st_size for p in entry_files(store))
         assert remaining <= budget
+
+    def test_read_hot_entry_survives_eviction_on_noatime_mounts(self, store):
+        """Regression: a read keeps an entry alive even where atime lies.
+
+        Key 00 is the oldest *written* entry but the only one ever read.
+        Its atime is then forced back to the epoch — exactly what a
+        ``noatime`` mount reports — so the old atime-ordered eviction
+        would have picked the one hot entry as its victim.  Last-use is
+        now recorded in the store itself (mtime bump on load), which no
+        mount option suppresses.
+        """
+        import os
+
+        keys = self.seed_entries(store)
+        assert store.load(keys[0], "eval") is not None  # bumps mtime
+        hot = store.entry_path(keys[0])
+        os.utime(hot, ns=(0, hot.stat().st_mtime_ns))  # atime frozen at 0
+        sizes = {k: store.entry_path(k).stat().st_size for k in keys}
+        budget = sum(sizes.values()) - sizes[keys[1]]
+        removed = store.prune(max_bytes=budget)
+        assert removed == 1
+        assert store.entry_path(keys[0]).exists()
+        assert not store.entry_path(keys[1]).exists()
 
     def test_zero_budget_empties_the_store(self, store):
         self.seed_entries(store)

@@ -144,6 +144,8 @@ class TestBench:
                 "24",
                 "--bench-repeats",
                 "1",
+                "--shard-requests",
+                "200",
                 "--bench-out",
                 str(out),
             ]
@@ -152,7 +154,7 @@ class TestBench:
         (artifact,) = sorted(out.glob("BENCH_*.json"))
         doc = json.loads(artifact.read_text())
         assert doc["format"] == "pascal-bench"
-        assert doc["version"] == 2
+        assert doc["version"] == 3
         names = {bench["name"] for bench in doc["benchmarks"]}
         assert {"eventqueue.heapq", "eventqueue.bucket"} <= names
         assert any(name.startswith("fig9.sim.") for name in names)
@@ -164,6 +166,17 @@ class TestBench:
             if bench["name"].startswith("fig9.sim."):
                 assert bench["requests_per_s"] > 0
                 assert isinstance(bench["epoch_coalescing"], bool)
+        # v3: the shard scaling ladder, with honest per-core normalization.
+        assert {
+            "shard.sim.fcfs.k1w1",
+            "shard.sim.fcfs.k4w1",
+            "shard.sim.fcfs.k4w4",
+        } <= names
+        for bench in doc["benchmarks"]:
+            if bench["name"].startswith("shard.sim."):
+                assert bench["requests"] == 200
+                assert bench["requests_per_s_per_core"] > 0
+                assert bench["cores"] >= 1
         assert "profile" not in doc  # opt-in via --profile
         stdout = capsys.readouterr().out
         assert "eventqueue.bucket" in stdout
@@ -179,6 +192,8 @@ class TestBench:
                 "24",
                 "--bench-repeats",
                 "1",
+                "--shard-requests",
+                "0",  # skip-the-series escape hatch
                 "--profile",
                 "--bench-out",
                 str(out),
@@ -207,6 +222,8 @@ class TestBench:
                 "24",
                 "--bench-repeats",
                 "1",
+                "--shard-requests",
+                "0",
                 "--no-epoch",
                 "--bench-out",
                 str(out),
