@@ -243,7 +243,11 @@ class ServingSession:
         self.cluster = Cluster(
             self.config, policy=policy, perf=perf, horizon_s=horizon_s
         )
-        self.cluster.admission = admission
+        if admission is not None:
+            # An explicit session gate wins; otherwise keep whatever the
+            # policy installed at bind time (``speculative-replace``
+            # defers rank-uncertain arrivals through its own gate).
+            self.cluster.admission = admission
         self._handles: dict[Request, RequestHandle] = {}
         self._subscribers: list[SessionSubscriber] = []
         cluster = self.cluster

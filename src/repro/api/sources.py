@@ -109,10 +109,12 @@ class SyntheticSource(ArrivalSource):
     def __iter__(self) -> Iterator[Request]:
         config = self.config
         streams = RandomStreams(config.seed)
-        arrivals = arrival_mod.iter_poisson_arrivals(
+        arrivals = arrival_mod.iter_onoff_arrivals(
             config.arrival_rate_per_s,
             config.n_requests,
             streams.stream(f"arrivals:{config.name}"),
+            duty=config.burst_duty,
+            cycle_s=config.burst_cycle_s,
         )
         lengths_rng = streams.stream(f"dataset:{config.dataset.name}")
         for rid, t in enumerate(arrivals):

@@ -94,7 +94,6 @@ class Cluster:
         self.migrations = MigrationManager(
             self.engine, self.fabric, config.instance.model
         )
-        policy.bind(self)
 
         self.completed: list[Request] = []
         self.submitted: list[Request] = []
@@ -108,11 +107,31 @@ class Cluster:
         #: Deferred arrivals currently waiting out their delay, keyed by
         #: rid in defer order (insertion-ordered; see :meth:`deferred`).
         self._deferred: dict[int, Request] = {}
+        #: Total admission deferral events (a request deferred k times
+        #: counts k); surfaced through the metrics collector.
+        self.n_deferrals = 0
+        #: Deferral livelock backstop: a request re-deferred more than
+        #: this many consecutive times while the cluster made *no*
+        #: observable progress (no completion/rejection, no token of KV
+        #: movement anywhere) is hopeless — capacity will never free — and
+        #: its next deferral converts to a rejection with a distinct
+        #: ``"deferral livelock"`` reason instead of spinning the event
+        #: loop forever.  Any progress between two deferrals of the same
+        #: request resets its count, so ordinary backpressure (slow but
+        #: live service) is never cut short.  ``None`` disables the
+        #: backstop.
+        self.max_stalled_deferrals: int | None = 32
+        #: rid -> (consecutive stalled deferrals, progress marker at the
+        #: request's previous deferral).
+        self._deferral_stalls: dict[int, tuple[int, tuple[int, int] | None]] = {}
         self.token_log: dict[int, list[float]] | None = None
 
         #: Optional pre-placement gate: ``decide(cluster, req, now)``
         #: returning an object with ``action`` in {"admit","reject",
         #: "defer"} (see :mod:`repro.api.admission`).  None admits all.
+        #: Policies may install one at bind time
+        #: (``speculative-replace``); an explicit
+        #: :class:`repro.api.ServingSession` gate takes precedence.
         self.admission = None
 
         #: Lifecycle hooks, fired by the event handlers below.  They are
@@ -152,6 +171,11 @@ class Cluster:
             inst.on_complete = self._on_request_complete
             inst.on_first_token = self._on_first_token
 
+        # Bind last, against the fully constructed cluster: a policy's
+        # on_bind may install an admission gate or read any of the
+        # accounting attributes above.
+        policy.bind(self)
+
     @property
     def policy_name(self) -> str:
         return self.policy.name
@@ -172,6 +196,7 @@ class Cluster:
             decision = self.admission.decide(self, req, now)
             action = getattr(decision, "action", "admit")
             if action == "reject":
+                self._deferral_stalls.pop(req.rid, None)
                 self.rejected.append(req)
                 self.policy.on_arrival_rejected(req, now)
                 self.on_reject_hook(req, now, getattr(decision, "reason", ""))
@@ -183,14 +208,64 @@ class Cluster:
                         f"admission deferred request {req.rid} by "
                         f"{delay_s}s; deferrals must be positive"
                     )
+                reason = getattr(decision, "reason", "")
+                if self._deferral_stalled(req):
+                    # Livelock backstop: capacity is provably not
+                    # freeing, so another deferral would re-present the
+                    # same request to the same gate forever and the
+                    # event loop would never drain.  Convert to a
+                    # rejection with a distinct reason.
+                    self.rejected.append(req)
+                    self.policy.on_arrival_rejected(req, now)
+                    self.on_reject_hook(
+                        req,
+                        now,
+                        "deferral livelock: no progress across "
+                        f"{self.max_stalled_deferrals} deferrals ({reason})",
+                    )
+                    return
+                self.n_deferrals += 1
                 self.pending_arrivals += 1
                 self._deferred[req.rid] = req
                 self.engine.schedule_in(delay_s, EventKind.ARRIVAL, req)
                 self.on_defer_hook(req, now, delay_s)
                 return
+        self._deferral_stalls.pop(req.rid, None)
         inst = self.policy.place_arrival(req, now)
         inst.admit(req, now)
         self.on_admit_hook(req, inst, now)
+
+    def _progress_marker(self) -> tuple[int, int]:
+        """A snapshot that changes iff the cluster made *any* progress.
+
+        Completions/rejections free capacity outright; the cluster-wide
+        KV total (allocated plus queued demand, O(1) running counters)
+        moves with every decoded token, admission or departure.  Two
+        equal markers bracket a window in which nothing happened at all.
+        """
+        return (
+            len(self.completed) + len(self.rejected),
+            sum(inst.total_kv_tokens() for inst in self.instances),
+        )
+
+    def _deferral_stalled(self, req: Request) -> bool:
+        """Track a deferral of ``req``; True when it is hopeless.
+
+        Counts *consecutive* deferrals of the same request with no
+        progress in between (see :attr:`max_stalled_deferrals`); any
+        progress resets the count, so ordinary backpressure — however
+        many retries it takes — is never converted to a rejection.
+        """
+        if self.max_stalled_deferrals is None:
+            return False
+        marker = self._progress_marker()
+        stalls, last_marker = self._deferral_stalls.get(req.rid, (0, None))
+        stalls = stalls + 1 if marker == last_marker else 1
+        if stalls > self.max_stalled_deferrals:
+            self._deferral_stalls.pop(req.rid, None)
+            return True
+        self._deferral_stalls[req.rid] = (stalls, marker)
+        return False
 
     def _on_step_complete(self, now: float, inst: ServingInstance) -> None:
         inst.on_step_complete(now)

@@ -193,6 +193,27 @@ class ExtensionPolicyConfig:
     least_load_weighted: bool = False
     #: Heterogeneous pool layout consumed by tier-aware policies.
     pool: PoolSpec = field(default_factory=PoolSpec)
+    #: ``speculative-replace``: re-arrival delay for speculatively
+    #: deferred arrivals (seconds in the waiting room per deferral).
+    speculative_defer_s: float = 0.4
+    #: ``speculative-replace``: deferral budget per request; 0 disables
+    #: speculative deferral entirely (no admission gate is installed).
+    speculative_max_defers: int = 3
+    #: ``speculative-replace``: a dataset with fewer observed reasoning
+    #: lengths than this is *rank-uncertain* — its arrivals wait for the
+    #: predictor to tighten (cold-start deferral).
+    speculative_min_observations: int = 8
+    #: ``speculative-replace``: the cluster counts as pressured when
+    #: every instance's pending-decode-token backlog (the monitor
+    #: signal) is at or above this.
+    speculative_pressure_tokens: int = 4000
+    #: ``speculative-replace``: predicted reasoning lengths at or above
+    #: this are "long" — deferred under pressure, and demotion victims.
+    speculative_long_tokens: int = 1200
+    #: ``speculative-replace``: demote the predicted-longest in-flight
+    #: reasoning request on a pressured placement target (False turns
+    #: the preemption mechanism off).
+    speculative_preempt: bool = True
 
 
 @dataclass(frozen=True)

@@ -197,6 +197,22 @@ class ClusterPolicy:
         """
         return {}
 
+    def predictor_rank_pairs(
+        self,
+    ) -> "dict[str, tuple[tuple[float, float], ...]]":
+        """Per-dataset ``(predicted score, observed length)`` pairs.
+
+        The prequential ranking record next to :meth:`predictor_errors`:
+        each observed reasoning length paired with the predictor's score
+        immediately before the update.  Feeds the Kendall-tau
+        rank-correlation views of
+        :class:`~repro.metrics.collector.RunMetrics` — the metric that
+        matters for placement, which consumes the *order* of predicted
+        lengths, not their values.  Predictor-free policies report
+        nothing.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     # helpers for subclasses
     # ------------------------------------------------------------------

@@ -47,7 +47,8 @@ from repro.metrics.collector import RunMetrics
 from repro.workload.request import Phase, Request, ReqState
 
 CACHE_FORMAT = "pascal-cache"
-CACHE_VERSION = 1
+# v2: payloads carry predictor_rank_pairs and n_deferrals (strict reads).
+CACHE_VERSION = 2
 
 #: Cache modes: ``off`` (no disk), ``ro`` (read, never write), ``rw``.
 CACHE_MODES = ("off", "ro", "rw")
@@ -274,15 +275,21 @@ def metrics_to_payload(metrics: RunMetrics) -> dict:
             dataset: list(errors)
             for dataset, errors in metrics.predictor_abs_errors.items()
         },
+        "predictor_rank_pairs": {
+            dataset: [[score, value] for score, value in pairs]
+            for dataset, pairs in metrics.predictor_rank_pairs.items()
+        },
         "requests": [request_to_record(r) for r in metrics.requests],
         "rejected": [request_to_record(r) for r in metrics.rejected],
+        "n_deferrals": metrics.n_deferrals,
     }
 
 
 def metrics_from_payload(payload: dict) -> RunMetrics:
-    # `predictor_abs_errors` and `rejected` are read strictly: a codec
-    # (or cache entry) that drops either must surface as a decode failure
-    # — recomputed as a miss — not as silently empty columns in a figure.
+    # `predictor_abs_errors`, `predictor_rank_pairs`, `rejected` and
+    # `n_deferrals` are read strictly: a codec (or cache entry) that drops
+    # any of them must surface as a decode failure — recomputed as a miss
+    # — not as silently empty columns in a figure.
     return RunMetrics(
         policy=payload["policy"],
         requests=[request_from_record(r) for r in payload["requests"]],
@@ -292,7 +299,12 @@ def metrics_from_payload(payload: dict) -> RunMetrics:
             dataset: tuple(errors)
             for dataset, errors in payload["predictor_abs_errors"].items()
         },
+        predictor_rank_pairs={
+            dataset: tuple((score, value) for score, value in pairs)
+            for dataset, pairs in payload["predictor_rank_pairs"].items()
+        },
         rejected=[request_from_record(r) for r in payload["rejected"]],
+        n_deferrals=payload["n_deferrals"],
     )
 
 

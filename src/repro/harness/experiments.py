@@ -42,6 +42,7 @@ from repro.workload.datasets import (
     GPQA,
     LIVECODEBENCH,
     MATH_500,
+    deferral_stress_mix,
     reasoning_heavy_mix,
 )
 from repro.workload.request import Phase
@@ -72,6 +73,8 @@ TITLES: dict[str, str] = {
     "fig16": "Mixed 50% Arena-Hard + 50% reasoning-heavy, high rate",
     "fig16x": "Mixed workload, heterogeneous pools + token-weighted load "
     "vs extension baselines, high rate",
+    "deferral-stress": "Bursty bimodal mix, high rate: speculative "
+    "deferral/replacement vs length-predictive",
     "sec5a": "Simulator validation: profile-table vs reference model (MAPE %)",
     "ablation-alg2": "Algorithm 2 fallback: r_i + a_i vs r_i alone, AlpacaEval",
     "ablation-partition": "Explicit phase partitioning vs PASCAL, AlpacaEval high rate",
@@ -749,6 +752,7 @@ _FIG16X_ROWS = (
     ("slo-least-load[w]", "slo-least-load", True),
     ("length-predictive", "length-predictive", False),
     ("tiered-express", "tiered-express", False),
+    ("speculative-replace", "speculative-replace", False),
 )
 
 
@@ -772,6 +776,8 @@ def fig16x_extension_mixed(settings: EvalSettings | None = None) -> FigureResult
         "reasoning tokens",
         "pred_err: |predicted - actual| reasoning length in tokens, "
         "learned online (no oracle lengths)",
+        "rank_tau: Kendall tau-b of predicted score vs observed reasoning "
+        "length, prequential (higher orders better)",
     ]
     for label, policy, use_weighted in _FIG16X_ROWS:
         metrics = run_evaluation(
@@ -789,6 +795,7 @@ def fig16x_extension_mixed(settings: EvalSettings | None = None) -> FigureResult
                 metrics.throughput_tokens_per_s,
                 metrics.predictor_error_mean(),
                 metrics.predictor_error_percentile(90),
+                metrics.rank_correlation(),
             ]
         )
         per_dataset = metrics.predictor_error_rows()
@@ -810,6 +817,102 @@ def fig16x_extension_mixed(settings: EvalSettings | None = None) -> FigureResult
             "throughput",
             "pred_err_mean",
             "pred_err_p90",
+            "rank_tau",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def _stress_settings(settings: EvalSettings) -> EvalSettings:
+    """The deferral-stress cell settings: bursty on-off arrivals."""
+    return dataclasses.replace(
+        settings,
+        arrival_burst_duty=0.25,
+        arrival_burst_cycle_s=40.0,
+    )
+
+
+def _ltr_settings(settings: EvalSettings) -> EvalSettings:
+    """The same cell with the pairwise-LTR predictor selected."""
+    return dataclasses.replace(
+        settings,
+        extensions=dataclasses.replace(
+            settings.extensions, predictor="pairwise-ltr"
+        ),
+    )
+
+
+#: (row label, policy name, uses the pairwise-LTR predictor).
+_DEFERRAL_STRESS_ROWS = (
+    ("pascal", "pascal", False),
+    ("length-predictive", "length-predictive", False),
+    ("speculative-replace", "speculative-replace", False),
+    ("speculative-replace[ltr]", "speculative-replace", True),
+)
+
+
+def deferral_stress(settings: EvalSettings | None = None) -> FigureResult:
+    """Speculative deferral/replacement under bursty heavy-tail load.
+
+    The bimodal chat/GPQA mix of :func:`deferral_stress_mix` arrives in
+    on-off bursts (duty 0.25: 4x the mean rate while "on") at the high
+    tier — the regime where admitting a mis-ranked chain of thought at
+    the head of a burst parks it in front of dozens of short chats.
+    ``speculative-replace`` defers rank-uncertain and predicted-long
+    arrivals into the cluster waiting room and demotes predicted-long
+    in-flight requests on pressured targets; the ``[ltr]`` row swaps the
+    flat EWMA for the pairwise learning-to-rank predictor.
+    """
+    settings = settings or EvalSettings.for_scale()
+    stress = _stress_settings(settings)
+    mix = deferral_stress_mix()
+    slo = stress.cluster_config().slo
+    rows = []
+    notes = [
+        f"arrivals: on-off bursts, duty {stress.arrival_burst_duty:g}, "
+        f"cycle {stress.arrival_burst_cycle_s:g}s (mean rate preserved)",
+        "deferrals: arrivals parked in the cluster waiting room by the "
+        "speculative admission gate (re-placed on re-arrival)",
+        "rank_tau: Kendall tau-b of predicted score vs observed reasoning "
+        "length, prequential (higher orders better)",
+    ]
+    for label, policy, use_ltr in _DEFERRAL_STRESS_ROWS:
+        cell_settings = _ltr_settings(stress) if use_ltr else stress
+        metrics = run_evaluation(mix, "high", policy, cell_settings)
+        ttfts = metrics.ttfts()
+        report = metrics.slo_report(slo)
+        rows.append(
+            [
+                label,
+                mean(ttfts),
+                percentile(ttfts, 99),
+                report.mean_qoe,
+                100.0 * report.violation_rate,
+                metrics.throughput_tokens_per_s,
+                metrics.n_deferrals,
+                metrics.rank_correlation(),
+            ]
+        )
+        per_dataset = metrics.rank_correlation_rows()
+        if per_dataset:
+            detail = ", ".join(
+                f"{dataset}: n={n} tau={tau:.2f}"
+                for dataset, n, tau in per_dataset
+            )
+            notes.append(f"{label} per-dataset rank_tau ({detail})")
+    return FigureResult(
+        figure_id="deferral-stress",
+        title=TITLES["deferral-stress"],
+        headers=[
+            "policy",
+            "mean_ttft_s",
+            "p99_ttft_s",
+            "mean_qoe",
+            "slo_violation_%",
+            "throughput",
+            "deferrals",
+            "rank_tau",
         ],
         rows=rows,
         notes=notes,
@@ -1071,6 +1174,23 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
                     _weighted_settings(s) if use_weighted else s,
                 )
                 for _, policy, use_weighted in _FIG16X_ROWS
+            ),
+            settings_factory=EvalSettings.for_scale,
+        ),
+        ExperimentSpec(
+            figure_id="deferral-stress",
+            title=TITLES["deferral-stress"],
+            build=deferral_stress,
+            cells=lambda s: tuple(
+                EvalCell(
+                    deferral_stress_mix(),
+                    "high",
+                    policy,
+                    _ltr_settings(_stress_settings(s))
+                    if use_ltr
+                    else _stress_settings(s),
+                )
+                for _, policy, use_ltr in _DEFERRAL_STRESS_ROWS
             ),
             settings_factory=EvalSettings.for_scale,
         ),

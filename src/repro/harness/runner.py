@@ -97,6 +97,13 @@ class EvalSettings:
     extensions: ExtensionPolicyConfig = field(
         default_factory=ExtensionPolicyConfig
     )
+    #: On-off burst duty cycle of the arrival process (1.0 = plain
+    #: Poisson, draw-for-draw; see
+    #: :func:`repro.workload.arrival.iter_onoff_arrivals`).  Part of the
+    #: cell spec — burstiness reshapes the offered load.
+    arrival_burst_duty: float = 1.0
+    #: On-off burst cycle length in seconds (ignored at duty 1.0).
+    arrival_burst_cycle_s: float = 60.0
     #: Cluster partitions simulated via :mod:`repro.shard` (1 = the
     #: single-engine path).  Part of the cell spec: sharding partitions
     #: the deployment itself, so results are re-addressed.  Worker-process
@@ -458,6 +465,8 @@ def run_evaluation(
         n_requests=settings.n_requests_for(dataset),
         arrival_rate_per_s=rates[rate_tier],
         seed=settings.seed,
+        burst_duty=settings.arrival_burst_duty,
+        burst_cycle_s=settings.arrival_burst_cycle_s,
     )
     if settings.shards > 1:
         # K-way partitioned deployment: repro.shard splits instances and

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.config import SLOConfig
 from repro.metrics.slo import SLOReport, evaluate_slo
-from repro.metrics.summary import mean, percentile, tail_ttft_bins
+from repro.metrics.summary import kendall_tau, mean, percentile, tail_ttft_bins
 from repro.workload.request import Phase, Request
 
 PHASE_BUCKETS = ("executed", "blocked", "preempted")
@@ -37,8 +37,17 @@ class RunMetrics:
     predictor_abs_errors: dict[str, tuple[float, ...]] = field(
         default_factory=dict
     )
+    #: Per-dataset ``(predicted score, observed reasoning length)`` pairs
+    #: in observation order, reported by predictor-driven policies;
+    #: the raw material of the Kendall-tau rank-correlation views.
+    predictor_rank_pairs: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
     #: Requests rejected by admission control (never placed, never run).
     rejected: list[Request] = field(default_factory=list)
+    #: Admission deferral events over the run (one request deferred k
+    #: times counts k; 0 everywhere no gate defers).
+    n_deferrals: int = 0
 
     @property
     def n_rejected(self) -> int:
@@ -79,11 +88,17 @@ class RunMetrics:
             if t is not None
         ]
 
+    # The two headline accessors are NaN-safe: a run where no request
+    # completed (e.g. an admission policy rejected everything) has no
+    # TTFT distribution, and figure code propagates/format-guards NaN
+    # where a raised ValueError would abort the whole table.
     def mean_ttft(self) -> float:
-        return mean(self.ttfts())
+        ttfts = self.ttfts()
+        return mean(ttfts) if ttfts else float("nan")
 
     def tail_ttft(self, pct: float = 99.0) -> float:
-        return percentile(self.ttfts(), pct)
+        ttfts = self.ttfts()
+        return percentile(ttfts, pct) if ttfts else float("nan")
 
     def ttft_bins(self, bin_width: int = 256):
         return tail_ttft_bins(self.requests, bin_width)
@@ -162,6 +177,41 @@ class RunMetrics:
             if errors
         ]
 
+    # ------------------------------------------------------------------
+    # rank-correlation views (ranking-based predictors)
+    # ------------------------------------------------------------------
+    def _rank_pairs(self, dataset: str | None) -> list[tuple[float, float]]:
+        if dataset is not None:
+            return list(self.predictor_rank_pairs.get(dataset, ()))
+        return [
+            pair
+            for _, pairs in sorted(self.predictor_rank_pairs.items())
+            for pair in pairs
+        ]
+
+    def rank_correlation(self, dataset: str | None = None) -> float | None:
+        """Kendall tau-b between predicted scores and observed lengths.
+
+        The metric a *ranking* predictor is judged by: the scheduler only
+        needs the order of reasoning lengths, so tau — not absolute error
+        — measures what placement actually consumes.  ``None`` with fewer
+        than two scored observations (correlation undefined).
+
+        The pooled (``dataset=None``) view concatenates per-dataset pair
+        lists; cross-dataset score comparisons are meaningful because
+        every predictor scores all datasets on one scale.
+        """
+        pairs = self._rank_pairs(dataset)
+        return kendall_tau(pairs) if len(pairs) >= 2 else None
+
+    def rank_correlation_rows(self) -> list[tuple[str, int, float]]:
+        """``(dataset, n, kendall_tau)`` per dataset with >= 2 pairs."""
+        return [
+            (dataset, len(pairs), kendall_tau(list(pairs)))
+            for dataset, pairs in sorted(self.predictor_rank_pairs.items())
+            if len(pairs) >= 2
+        ]
+
 
 def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
     """Snapshot a cluster run (finished or mid-flight) into metrics."""
@@ -172,5 +222,7 @@ def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
         throughput_tokens_per_s=cluster.throughput_tokens_per_s(),
         transfer_latencies_s=cluster.migrations.transfer_latencies(),
         predictor_abs_errors=cluster.policy.predictor_errors(),
+        predictor_rank_pairs=cluster.policy.predictor_rank_pairs(),
         rejected=list(cluster.rejected),
+        n_deferrals=cluster.n_deferrals,
     )

@@ -13,6 +13,7 @@ metric with the sample count:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -36,6 +37,57 @@ def mean(values: list[float]) -> float:
     if not values:
         raise ValueError("mean of empty list")
     return sum(values) / len(values)
+
+
+def kendall_tau(pairs: list[tuple[float, float]]) -> float:
+    """Kendall rank correlation (tau-b) between paired observations.
+
+    ``pairs`` holds ``(x, y)`` observations — here, (predicted score,
+    observed reasoning length).  Tau-b handles ties on either side:
+
+        tau_b = (C - D) / sqrt((C + D + Tx) * (C + D + Ty))
+
+    with C/D the concordant/discordant pair counts and Tx/Ty the pairs
+    tied only in x / only in y (pairs tied in both drop out of every
+    term).  Scale-free: any strictly monotone transform of either side
+    leaves it unchanged, which is what makes value predictors (token
+    estimates) and ranking predictors (unitless scores) directly
+    comparable.
+
+    The exhaustive O(n^2) pair walk is deliberate: this runs once per
+    table render over per-dataset observation lists, never inside the
+    simulation loop.
+
+    Returns NaN when one side is constant (correlation undefined);
+    raises on fewer than two pairs — callers gate on sample size.
+    """
+    n = len(pairs)
+    if n < 2:
+        raise ValueError("kendall tau needs at least two pairs")
+    concordant = discordant = ties_x = ties_y = 0
+    for i in range(n):
+        x_i, y_i = pairs[i]
+        for j in range(i + 1, n):
+            x_j, y_j = pairs[j]
+            dx = (x_i > x_j) - (x_i < x_j)
+            dy = (y_i > y_j) - (y_i < y_j)
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif dx == dy:
+                concordant += 1
+            else:
+                discordant += 1
+    denom = math.sqrt(
+        float(concordant + discordant + ties_x)
+        * float(concordant + discordant + ties_y)
+    )
+    if denom == 0.0:
+        return float("nan")
+    return (concordant - discordant) / denom
 
 
 @dataclass(frozen=True)

@@ -167,6 +167,26 @@ def reasoning_heavy_mix() -> MixedDataset:
     )
 
 
+def deferral_stress_mix() -> MixedDataset:
+    """The deferral-stress workload: a bimodal chat/problem-solving mix.
+
+    65 % short chat (AlpacaEval, mean reasoning ~560 tokens) against 35 %
+    GPQA (mean ~2680, the heaviest tail in the paper's table) — the
+    heavy-tail bimodality that makes arrival-time *ranking* decisive: a
+    mis-ranked GPQA request parks a multi-thousand-token chain of thought
+    in front of dozens of short chats.  Run under a bursty arrival
+    process (``EvalSettings.arrival_burst_duty``) by the
+    ``deferral-stress`` experiment.
+    """
+    return MixedDataset(
+        name="deferral-stress-mix",
+        components=(
+            (ALPACA_EVAL, 0.65),
+            (GPQA, 0.35),
+        ),
+    )
+
+
 def mean_request_tokens(spec: DatasetSpec) -> float:
     """Expected total token work of one request (prompt + both phases)."""
     return spec.prompt.mean + spec.reasoning.mean + spec.answering.mean

@@ -54,6 +54,11 @@ class TraceConfig:
     n_requests: int
     arrival_rate_per_s: float
     seed: int = 0
+    #: On-off burst duty cycle (fraction of each cycle arrivals flow);
+    #: 1.0 is the plain Poisson process, draw-for-draw.
+    burst_duty: float = 1.0
+    #: On-off burst cycle length in seconds (ignored at duty 1.0).
+    burst_cycle_s: float = 60.0
 
     @property
     def name(self) -> str:
@@ -63,10 +68,14 @@ class TraceConfig:
 def build_trace(config: TraceConfig) -> list[Request]:
     """Materialize a Poisson-arrival trace for one dataset/mixture."""
     streams = RandomStreams(config.seed)
-    arrivals = arrival.poisson_arrivals(
-        config.arrival_rate_per_s,
-        config.n_requests,
-        streams.stream(f"arrivals:{config.name}"),
+    arrivals = list(
+        arrival.iter_onoff_arrivals(
+            config.arrival_rate_per_s,
+            config.n_requests,
+            streams.stream(f"arrivals:{config.name}"),
+            duty=config.burst_duty,
+            cycle_s=config.burst_cycle_s,
+        )
     )
     return sample_trace(config.dataset, config.n_requests, arrivals, streams)
 

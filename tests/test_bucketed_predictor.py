@@ -47,11 +47,11 @@ class TestFactory:
         assert predictor.hist_alpha == pytest.approx(0.05)
 
     def test_unknown_name_raises_with_choices(self):
-        with pytest.raises(ValueError, match="bucketed-ewma, ewma"):
+        with pytest.raises(ValueError, match="bucketed-ewma, ewma, pairwise-ltr"):
             make_predictor(ExtensionPolicyConfig(predictor="quantile"))
 
     def test_registry_names(self):
-        assert sorted(PREDICTORS) == ["bucketed-ewma", "ewma"]
+        assert sorted(PREDICTORS) == ["bucketed-ewma", "ewma", "pairwise-ltr"]
 
 
 class TestBucketedEstimator:
@@ -151,3 +151,50 @@ class TestEndToEnd:
         )
         cluster = Cluster(config, policy="tiered-express")
         assert isinstance(cluster.policy.predictor, BucketedEWMAPredictor)
+
+
+def req(dataset: str, rid: int = 0) -> Request:
+    return Request(
+        rid=rid, prompt_len=10, reasoning_len=10, answer_len=5,
+        dataset=dataset,
+    )
+
+
+class TestColdStartDegenerateHistogram:
+    """Regression: observations present but every bucket weight ~zero.
+
+    With an adversarially tiny ``alpha``, ``hist_alpha = alpha / 10``
+    underflows to exactly 0.0, so every observation leaves its bucket
+    weight at zero.  The old weighted-median walk then compared a zero
+    cumulative against a zero half-mass and returned the *lowest*
+    bucket's stale value — a degenerate estimate bearing no relation to
+    the observed stream.  The fix detects the zero-mass histogram and
+    falls back to the flat-EWMA chain, which is well defined whenever
+    the dataset has observations at all.
+    """
+
+    def test_zero_mass_histogram_falls_back_to_flat_ewma(self):
+        predictor = BucketedEWMAPredictor(alpha=5e-324)
+        assert predictor.hist_alpha == 0.0  # the underflow premise
+        # A large observation first, then a tiny one: the old code
+        # returned the tiny one (lowest bucket wins a zero-mass walk).
+        predictor.observe(req("cold", rid=0), 6000)
+        predictor.observe(req("cold", rid=1), 10)
+        estimate = predictor.predict_total(req("cold", rid=2))
+        flat = ReasoningLengthPredictor(alpha=5e-324)
+        flat.observe(req("cold", rid=0), 6000)
+        flat.observe(req("cold", rid=1), 10)
+        assert estimate == pytest.approx(flat.predict_total(req("cold")))
+        assert estimate > 1000  # nowhere near the degenerate 10
+
+    def test_unseen_dataset_still_uses_fallback_chain(self):
+        # The guard must not shadow the existing no-observations path.
+        predictor = BucketedEWMAPredictor(alpha=5e-324, prior_tokens=700)
+        assert predictor.predict_total(req("never-seen")) == 700.0
+
+    def test_healthy_alpha_unaffected_by_the_guard(self):
+        predictor = BucketedEWMAPredictor(alpha=0.25)
+        for i, value in enumerate((100, 110, 90, 105, 95)):
+            predictor.observe(req("warm", rid=i), value)
+        estimate = predictor.predict_total(req("warm"))
+        assert 80 <= estimate <= 120  # weighted median of the body

@@ -6,8 +6,9 @@ conservation laws any correct discrete-event serving simulator must obey:
 
 * the clock never runs backwards (event timestamps non-decreasing);
 * request conservation: every arrival is, at all times, on exactly one
-  instance, in flight between instances, or completed
-  (``admitted = completed + in-flight + queued``);
+  instance, in flight between instances, parked in the deferral waiting
+  room, rejected, or completed
+  (``submitted = completed + rejected + in-flight + deferred``);
 * per-instance census never goes negative (queue depths, monitor counts,
   KV pool headroom);
 * every admitted request terminates, and SLO accounting covers the whole
@@ -41,9 +42,16 @@ from repro.workload.request import Request
 #: pool-aware policies actually exercise their tiered paths.
 POOL_SHAPES = {
     "homogeneous": ExtensionPolicyConfig(),
+    # Aggressive speculative knobs (tiny thresholds, short defers) so
+    # ``speculative-replace`` actually defers and demotes on these small
+    # workloads; every other policy ignores them.
     "heterogeneous": ExtensionPolicyConfig(
         least_load_weighted=True,
         pool=PoolSpec(express_instances=2, express_threshold_tokens=30),
+        speculative_defer_s=0.05,
+        speculative_min_observations=5,
+        speculative_pressure_tokens=50,
+        speculative_long_tokens=20,
     ),
 }
 
@@ -103,12 +111,13 @@ def test_policy_preserves_simulation_invariants(policy, shape, tuples):
     cluster = build_cluster(policy, POOL_SHAPES[shape])
     requests = trace_from(tuples)
 
-    arrivals_dispatched = 0
+    # A deferral re-schedules the same request's ARRIVAL event, so
+    # conservation is over *unique* submitted requests, not dispatches.
+    submitted_rids: set[int] = set()
     inner_on_arrival = cluster._on_arrival
 
     def counting_arrival(now, req):
-        nonlocal arrivals_dispatched
-        arrivals_dispatched += 1
+        submitted_rids.add(req.rid)
         inner_on_arrival(now, req)
 
     cluster.engine.register(EventKind.ARRIVAL, counting_arrival)
@@ -120,15 +129,19 @@ def test_policy_preserves_simulation_invariants(policy, shape, tuples):
         assert now >= last_now, "clock ran backwards"
         last_now = now
 
-        # Request conservation: between events, every dispatched arrival
-        # is on exactly one instance, crossing the fabric, or done.
+        # Request conservation: between events, every submitted request
+        # is on exactly one instance, crossing the fabric, parked in the
+        # deferral waiting room, rejected, or done.
         on_instances = sum(len(inst.requests) for inst in cluster.instances)
         assert cluster.migrations.in_flight >= 0
+        assert len(cluster.deferred()) >= 0
         assert (
-            arrivals_dispatched
+            len(submitted_rids)
             == len(cluster.completed)
+            + len(cluster.rejected)
             + cluster.migrations.in_flight
             + on_instances
+            + len(cluster.deferred())
         ), f"request leak at t={now}"
 
         for inst in cluster.instances:
@@ -141,8 +154,11 @@ def test_policy_preserves_simulation_invariants(policy, shape, tuples):
             assert monitor.pending_decode_tokens(inst) >= 0
             assert len(inst.live_requests()) <= len(inst.requests)
 
-    # Termination: the queue drained and every admitted request finished.
-    assert arrivals_dispatched == len(requests)
+    # Termination: the queue drained, the waiting room emptied, nothing
+    # was turned away (no gate here rejects), and every request finished.
+    assert len(submitted_rids) == len(requests)
+    assert cluster.deferred() == []
+    assert cluster.rejected == []
     assert cluster.all_finished()
     assert all(r.finished for r in requests)
     assert all(r.done_t is not None for r in requests)

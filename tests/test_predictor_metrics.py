@@ -170,3 +170,91 @@ class TestCodecsPreservePredictorErrors:
             result_cache.metrics_to_payload(metrics)
         )
         assert decoded.predictor_abs_errors == metrics.predictor_abs_errors
+
+
+class TestCodecsPreserveRankPairsAndDeferrals:
+    """PR 9 payload fields: prequential rank pairs and deferral counts.
+
+    Same strictness contract as ``predictor_abs_errors``: a payload that
+    lacks either field is a decode failure (cache miss), never a silently
+    empty column — that is what CACHE_VERSION 2 guarantees.
+    """
+
+    def metrics(self) -> RunMetrics:
+        return RunMetrics(
+            policy="speculative-replace",
+            requests=[],
+            predictor_rank_pairs={
+                "a": ((100.0, 120.0), (300.0, 250.0)),
+                "b": ((50.0, 55.0),),
+            },
+            n_deferrals=7,
+        )
+
+    def test_payload_codec_round_trips(self):
+        metrics = self.metrics()
+        payload = result_cache.metrics_to_payload(metrics)
+        assert "predictor_rank_pairs" in payload
+        assert payload["n_deferrals"] == 7
+        decoded = result_cache.metrics_from_payload(payload)
+        assert decoded.predictor_rank_pairs == metrics.predictor_rank_pairs
+        assert decoded.n_deferrals == 7
+
+    def test_decoder_rejects_payloads_missing_rank_pairs(self):
+        payload = result_cache.metrics_to_payload(self.metrics())
+        del payload["predictor_rank_pairs"]
+        with pytest.raises(KeyError):
+            result_cache.metrics_from_payload(payload)
+
+    def test_decoder_rejects_payloads_missing_deferrals(self):
+        payload = result_cache.metrics_to_payload(self.metrics())
+        del payload["n_deferrals"]
+        with pytest.raises(KeyError):
+            result_cache.metrics_from_payload(payload)
+
+    def test_json_round_trip_restores_tuple_shape(self):
+        # Disk entries go through JSON, which turns the pair tuples into
+        # lists; the decoder must restore hashable tuple-of-tuples.
+        import json
+
+        payload = json.loads(
+            json.dumps(result_cache.metrics_to_payload(self.metrics()))
+        )
+        decoded = result_cache.metrics_from_payload(payload)
+        assert decoded.predictor_rank_pairs == self.metrics().predictor_rank_pairs
+        assert isinstance(decoded.predictor_rank_pairs["a"], tuple)
+        assert isinstance(decoded.predictor_rank_pairs["a"][0], tuple)
+
+    def test_collect_populates_rank_pairs_from_a_real_run(self):
+        config = ClusterConfig(
+            n_instances=2,
+            instance=InstanceConfig(
+                kv_capacity_tokens=4000,
+                scheduler=SchedulerConfig(token_quantum=50),
+            ),
+        )
+        cluster = Cluster(
+            config, policy="length-predictive", perf=UnitPerfModel(0.01)
+        )
+        requests = [
+            Request(
+                rid=i,
+                prompt_len=8,
+                reasoning_len=20,
+                answer_len=10,
+                arrival_t=0.2 * i,
+                dataset="tiny",
+            )
+            for i in range(6)
+        ]
+        cluster.run_trace(requests)
+        from repro.metrics.collector import collect
+
+        metrics = collect(cluster)
+        assert set(metrics.predictor_rank_pairs) == {"tiny"}
+        pairs = metrics.predictor_rank_pairs["tiny"]
+        assert len(pairs) == 6
+        # Prequential: the first pair is scored by the untrained predictor
+        # (600-token prior) against the observed 20 reasoning tokens.
+        assert pairs[0] == (600.0, 20.0)
+        assert metrics.n_deferrals == 0  # no admission gate in this run

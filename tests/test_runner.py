@@ -231,8 +231,9 @@ class TestExperimentRegistry:
 
         expected = {
             "fig2", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig16x", "sec5a",
-            "sec5c", "ablation-alg2", "ablation-partition",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig16x",
+            "deferral-stress", "sec5a", "sec5c", "ablation-alg2",
+            "ablation-partition",
         }
         assert set(ALL_EXPERIMENTS) == expected
         assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())

@@ -189,3 +189,49 @@ class TestRunMetrics:
             "reasoning": 1,
             "blocking": 1,
         }
+
+
+class TestEmptyRunMetrics:
+    """Regression: accessors must be NaN/None-safe with zero completions.
+
+    An aggressive admission gate (or the deferral-livelock backstop) can
+    reject an entire trace, leaving ``requests=[]``.  ``mean_ttft`` used to
+    divide by zero and ``tail_ttft`` asked ``percentile`` for a quantile of
+    an empty list (ValueError), crashing every table builder downstream.
+    """
+
+    def empty(self):
+        return RunMetrics(policy="test", requests=[])
+
+    def test_mean_ttft_is_nan(self):
+        import math
+
+        assert math.isnan(self.empty().mean_ttft())
+
+    def test_tail_ttft_is_nan(self):
+        import math
+
+        metrics = self.empty()
+        assert math.isnan(metrics.tail_ttft())
+        assert math.isnan(metrics.tail_ttft(50))
+
+    def test_rank_accessors_degrade_to_none(self):
+        metrics = self.empty()
+        assert metrics.rank_correlation() is None
+        assert metrics.rank_correlation_rows() == []
+
+    def test_format_cell_renders_the_nan_safely(self):
+        # The table layer's contract for missing values: "-" not a crash.
+        from repro.harness.report import format_cell
+
+        assert format_cell(None) == "-"
+
+    def test_rank_correlation_needs_two_pairs_per_dataset(self):
+        metrics = RunMetrics(
+            policy="test",
+            requests=[],
+            predictor_rank_pairs={"lonely": ((1.0, 2.0),)},
+        )
+        # One pair cannot order anything: skipped, not a ValueError.
+        assert metrics.rank_correlation("lonely") is None
+        assert metrics.rank_correlation_rows() == []

@@ -143,3 +143,57 @@ class TestBucketMeans:
     def test_unknown_keys_ignored(self):
         out = bucket_means([(999, 5.0)], (128,))
         assert out == {128: 0.0}
+
+
+class TestKendallTau:
+    def test_perfect_order_is_one(self):
+        pairs = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+        from repro.metrics.summary import kendall_tau
+
+        assert kendall_tau(pairs) == pytest.approx(1.0)
+
+    def test_reversed_order_is_minus_one(self):
+        from repro.metrics.summary import kendall_tau
+
+        pairs = [(3.0, 10.0), (2.0, 20.0), (1.0, 30.0)]
+        assert kendall_tau(pairs) == pytest.approx(-1.0)
+
+    def test_tau_b_handles_ties_on_one_side(self):
+        from repro.metrics.summary import kendall_tau
+
+        # x ties on the first two pairs: tau-b normalizes them away
+        # rather than diluting toward zero like tau-a would.
+        pairs = [(1.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+        assert kendall_tau(pairs) == pytest.approx(0.8164965809, rel=1e-6)
+
+    def test_constant_side_is_nan(self):
+        import math
+
+        from repro.metrics.summary import kendall_tau
+
+        assert math.isnan(kendall_tau([(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)]))
+
+    def test_monotone_transform_invariance(self):
+        # The property that makes EWMA token estimates and unitless LTR
+        # scores comparable in one column: tau sees only the order.
+        from repro.metrics.summary import kendall_tau
+
+        pairs = [(1.0, 5.0), (4.0, 2.0), (2.0, 9.0), (8.0, 4.0)]
+        squashed = [(x**3, y) for x, y in pairs]
+        assert kendall_tau(pairs) == pytest.approx(kendall_tau(squashed))
+
+    def test_fewer_than_two_pairs_rejected(self):
+        from repro.metrics.summary import kendall_tau
+
+        with pytest.raises(ValueError):
+            kendall_tau([])
+        with pytest.raises(ValueError):
+            kendall_tau([(1.0, 2.0)])
+
+    def test_pairs_tied_in_both_are_neutral(self):
+        from repro.metrics.summary import kendall_tau
+
+        base = [(1.0, 10.0), (2.0, 20.0)]
+        padded = base + [(1.0, 10.0)]  # duplicate point
+        assert kendall_tau(base) == pytest.approx(1.0)
+        assert kendall_tau(padded) == pytest.approx(1.0)

@@ -212,3 +212,100 @@ class TestSyntheticWorkloads:
         )
         assert len(reqs) == n
         assert all(r.rid == i for i, r in enumerate(reqs))
+
+
+class TestOnOffArrivals:
+    """The on-off modulated Poisson process behind ``deferral-stress``."""
+
+    def test_full_duty_matches_poisson_draw_for_draw(self):
+        # duty >= 1.0 must delegate: identical RNG consumption, identical
+        # times, so existing experiments are byte-stable.
+        plain = list(
+            arrival.iter_poisson_arrivals(
+                2.0, 200, RandomStreams(9).stream("arr")
+            )
+        )
+        onoff = list(
+            arrival.iter_onoff_arrivals(
+                2.0, 200, RandomStreams(9).stream("arr"), duty=1.0
+            )
+        )
+        assert onoff == plain
+
+    def test_bursty_arrivals_land_inside_on_windows(self):
+        duty, cycle = 0.25, 40.0
+        times = list(
+            arrival.iter_onoff_arrivals(
+                3.0, 500, RandomStreams(4).stream("arr"),
+                duty=duty, cycle_s=cycle,
+            )
+        )
+        assert times == sorted(times)
+        on_s = duty * cycle
+        for t in times:
+            # Allow a hair of float slack at the window edge.
+            assert (t % cycle) <= on_s + 1e-9
+
+    def test_bursty_preserves_long_run_rate(self):
+        times = list(
+            arrival.iter_onoff_arrivals(
+                5.0, 5000, RandomStreams(1).stream("arr"),
+                duty=0.5, cycle_s=20.0,
+            )
+        )
+        measured = len(times) / times[-1]
+        assert 4.5 < measured < 5.5
+
+    def test_burst_rate_is_rate_over_duty(self):
+        # Within the on-window the process runs hot at rate/duty.
+        duty, cycle = 0.2, 50.0
+        times = list(
+            arrival.iter_onoff_arrivals(
+                2.0, 4000, RandomStreams(2).stream("arr"),
+                duty=duty, cycle_s=cycle,
+            )
+        )
+        on_time = (times[-1] // cycle + 1) * duty * cycle
+        within_rate = len(times) / on_time
+        assert 8.0 < within_rate < 12.0  # ~= 2.0 / 0.2
+
+    def test_invalid_knobs_rejected(self):
+        rng = RandomStreams(0).stream("arr")
+        with pytest.raises(ValueError):
+            list(arrival.iter_onoff_arrivals(2.0, 10, rng, duty=0.0))
+        with pytest.raises(ValueError):
+            list(arrival.iter_onoff_arrivals(2.0, 10, rng, duty=-0.5))
+        with pytest.raises(ValueError):
+            list(arrival.iter_onoff_arrivals(2.0, 10, rng, cycle_s=0.0))
+        with pytest.raises(ValueError):
+            list(arrival.iter_onoff_arrivals(0.0, 10, rng))
+        with pytest.raises(ValueError):
+            list(arrival.iter_onoff_arrivals(2.0, -1, rng))
+
+    def test_trace_config_threads_burst_knobs(self):
+        base = TraceConfig(ALPACA_EVAL, 80, 2.0, seed=11)
+        bursty = TraceConfig(
+            ALPACA_EVAL, 80, 2.0, seed=11, burst_duty=0.25, burst_cycle_s=40.0
+        )
+        plain_trace = build_trace(base)
+        bursty_trace = build_trace(bursty)
+        # Same lengths (same sampling stream), different arrival pattern.
+        assert [r.reasoning_len for r in plain_trace] == [
+            r.reasoning_len for r in bursty_trace
+        ]
+        assert [r.arrival_t for r in plain_trace] != [
+            r.arrival_t for r in bursty_trace
+        ]
+        for r in bursty_trace:
+            assert (r.arrival_t % 40.0) <= 10.0 + 1e-9
+
+    def test_default_trace_config_is_byte_stable(self):
+        # The new knobs default to pass-through: pre-existing traces are
+        # unchanged (golden-table safety for every other experiment).
+        base = TraceConfig(ALPACA_EVAL, 60, 2.0, seed=5)
+        explicit = TraceConfig(
+            ALPACA_EVAL, 60, 2.0, seed=5, burst_duty=1.0, burst_cycle_s=60.0
+        )
+        assert [r.arrival_t for r in build_trace(base)] == [
+            r.arrival_t for r in build_trace(explicit)
+        ]
