@@ -1,0 +1,222 @@
+"""End-to-end smoke of the real-time serving gateway (CI: serve-smoke).
+
+Spawns ``python -m repro.harness serve --realtime --port 0`` as a
+subprocess, then — with a plain asyncio client, no HTTP library —
+
+1. streams one chat completion to the end (``data: [DONE]``),
+2. opens a second, much longer stream and drops the connection
+   mid-stream, which the gateway must surface as a *cancellation*,
+3. polls ``/metrics`` until exactly one cancel and one completion show,
+4. sends SIGTERM and expects a clean exit (code 0) with the final
+   accounting line,
+5. replays the recorded live trace offline and checks the cancellation
+   reproduces.
+
+Exit code 0 = all good; anything else prints the failing step.
+
+Run directly::
+
+    python examples/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+HOST = "127.0.0.1"
+TIME_SCALE = 10.0
+
+
+def _request_head(path: str, method: str, headers: dict, body: bytes) -> bytes:
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {HOST}"]
+    lines += [f"{k}: {v}" for k, v in headers.items()]
+    lines += [f"Content-Length: {len(body)}", "Connection: close", "", ""]
+    return "\r\n".join(lines).encode() + body
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> str:
+    head = await reader.readuntil(b"\r\n\r\n")
+    return head.decode("latin-1")
+
+
+async def stream_completion(port: int, reasoning: int, answer: int,
+                            abort_after: int | None = None) -> int:
+    """Stream one completion; returns content chunks seen.
+
+    With ``abort_after`` set, hard-closes the connection after that many
+    content chunks (the mid-stream disconnect the gateway must turn into
+    a cancellation).
+    """
+    body = json.dumps(
+        {
+            "model": "pascal-sim",
+            "stream": True,
+            "messages": [{"role": "user", "content": "smoke test"}],
+        }
+    ).encode()
+    reader, writer = await asyncio.open_connection(HOST, port)
+    writer.write(
+        _request_head(
+            "/v1/chat/completions",
+            "POST",
+            {
+                "Content-Type": "application/json",
+                "x-pascal-reasoning-tokens": str(reasoning),
+                "x-pascal-answer-tokens": str(answer),
+            },
+            body,
+        )
+    )
+    await writer.drain()
+    head = await _read_headers(reader)
+    assert "200 OK" in head.splitlines()[0], head
+    assert "text/event-stream" in head, head
+    chunks = 0
+    done = False
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line.startswith(b"data: "):
+            continue
+        data = line[len(b"data: "):]
+        if data == b"[DONE]":
+            done = True
+            break
+        delta = json.loads(data)["choices"][0]["delta"]
+        if "content" in delta:
+            chunks += 1
+            if abort_after is not None and chunks >= abort_after:
+                # Hard close mid-stream: abort the transport without a
+                # FIN-then-drain dance, like a killed client process.
+                writer.transport.abort()
+                return chunks
+    writer.close()
+    if abort_after is None:
+        assert done, "stream ended without [DONE]"
+        assert chunks == answer, f"expected {answer} chunks, got {chunks}"
+    return chunks
+
+
+async def get_json(port: int, path: str) -> dict:
+    reader, writer = await asyncio.open_connection(HOST, port)
+    writer.write(_request_head(path, "GET", {}, b""))
+    await writer.drain()
+    head = await _read_headers(reader)
+    assert "200 OK" in head.splitlines()[0], (path, head)
+    match = re.search(r"content-length: (\d+)", head.lower())
+    assert match, head
+    payload = json.loads(await reader.readexactly(int(match.group(1))))
+    writer.close()
+    return payload
+
+
+async def drive(port: int) -> None:
+    models = await get_json(port, "/v1/models")
+    assert models["data"][0]["id"] == "pascal-sim", models
+
+    # 1. One short completion, streamed to the end.
+    await stream_completion(port, reasoning=24, answer=8)
+
+    # 2. One long completion, aborted after two content chunks.
+    await stream_completion(
+        port, reasoning=4000, answer=1000, abort_after=2
+    )
+
+    # 3. The abort must surface as a cancellation (poll: the disconnect
+    # is noticed by the pacing loop, not synchronously).
+    deadline = time.monotonic() + 30.0
+    while True:
+        metrics = await get_json(port, "/metrics")
+        if metrics["cancelled"] == 1 and metrics["completed"] >= 1:
+            break
+        if time.monotonic() > deadline:
+            raise AssertionError(f"cancel never surfaced: {metrics}")
+        await asyncio.sleep(0.05)
+    assert metrics["submitted"] == 2, metrics
+    assert metrics["rejected"] == 0, metrics
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    trace_path = os.path.join(tmp, "live.jsonl")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness",
+            "serve",
+            "--realtime",
+            "--port",
+            "0",
+            "--host",
+            HOST,
+            "--time-scale",
+            str(TIME_SCALE),
+            "--quiet",
+            "--record-trace",
+            trace_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        assert proc.stdout is not None
+        banner = proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        assert match, f"no port banner: {banner!r}"
+        port = int(match.group(1))
+
+        asyncio.run(drive(port))
+
+        # 4. Graceful shutdown: SIGTERM -> drain -> accounting -> exit 0.
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, (proc.returncode, out)
+        final = [
+            line for line in out.splitlines()
+            if line.startswith("serve: final")
+        ]
+        assert final, out
+        assert "cancelled=1" in final[0], final[0]
+        assert "submitted=2" in final[0], final[0]
+        print(f"gateway smoke ok: {final[0]}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # 5. The recorded live trace replays the cancellation offline.
+    replay = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness",
+            "serve",
+            "--trace",
+            trace_path,
+            "--quiet",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert replay.returncode == 0, replay.stderr
+    assert "cancelled=1" in replay.stdout, replay.stdout
+    print("offline replay reproduces the cancellation")
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -198,12 +198,15 @@ class WallClockRule(LintRule):
     cell stop being byte-identical.  Simulation code must use the engine
     clock (``engine.now``, the ``now`` callback argument).  Sanctioned
     homes for wall-clock reads: ``bench/`` (that's what benchmarks
-    measure) and ``harness/cache.py`` (store timestamps, not results).
+    measure), ``serve/`` (the wall-clock pacer exists to anchor the
+    simulated clock to real time — wall time decides *when* the engine
+    is cranked, never the simulated outcome), and ``harness/cache.py``
+    (store timestamps, not results).
     """
 
     code = "PAS001"
     scope = None  # everywhere, minus the sanctioned scopes below
-    allowed_segments = frozenset({"bench"})
+    allowed_segments = frozenset({"bench", "serve"})
     allowed_suffixes = ("harness/cache.py",)
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:

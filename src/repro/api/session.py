@@ -34,11 +34,14 @@ Lifecycle of one request (events in order)::
        │            ──► on_first_token(handle, now)      # TTFT milestone
        │            ──► on_complete(handle, now)
        ├──► on_defer(handle, now, delay_s) ──► (re-enters admission)
-       └──► on_reject(handle, now, reason)               # terminal
+       ├──► on_reject(handle, now, reason)               # terminal
+       └──► on_cancel(handle, now)                       # terminal
 
 Requests with ``reasoning_len == 0`` skip ``on_phase_change`` (they are
 born answering); every admitted request eventually fires ``on_complete``
-when the session drains.
+when the session drains.  ``on_cancel`` can interrupt the lifecycle at
+any point before completion — :meth:`RequestHandle.cancel` (or a
+client disconnect at the serving gateway) schedules it.
 """
 
 from __future__ import annotations
@@ -66,18 +69,22 @@ class RequestHandle:
     measurement accessors read the live (or final) request state.
     """
 
-    __slots__ = ("request", "status", "reject_reason")
+    __slots__ = ("request", "status", "reject_reason", "_session")
 
     #: ``status`` values, in lifecycle order.
     PENDING = "pending"      #: submitted, not yet through admission
     ADMITTED = "admitted"    #: placed on an instance, decoding or queued
     REJECTED = "rejected"    #: turned away by admission (terminal)
     COMPLETED = "completed"  #: all answering tokens generated (terminal)
+    CANCELLED = "cancelled"  #: abandoned by its client (terminal)
 
-    def __init__(self, request: Request):
+    def __init__(
+        self, request: Request, session: "ServingSession | None" = None
+    ):
         self.request = request
         self.status = RequestHandle.PENDING
         self.reject_reason: str | None = None
+        self._session = session
 
     @property
     def rid(self) -> int:
@@ -91,8 +98,29 @@ class RequestHandle:
 
     @property
     def done(self) -> bool:
-        """Terminal either way: completed or rejected."""
-        return self.status in (RequestHandle.COMPLETED, RequestHandle.REJECTED)
+        """Terminal any way: completed, rejected or cancelled."""
+        return self.status in (
+            RequestHandle.COMPLETED,
+            RequestHandle.REJECTED,
+            RequestHandle.CANCELLED,
+        )
+
+    def cancel(self) -> bool:
+        """Ask the session to cancel this request.
+
+        The cancellation is *scheduled* (a ``CANCEL`` event at the current
+        simulated clock) rather than applied in place, so it is safe to
+        call from subscriber callbacks and takes effect in deterministic
+        event order.  Returns ``False`` when the request is already
+        terminal.  Raises :class:`RuntimeError` on a handle that was
+        constructed detached from a session.
+        """
+        if self._session is None:
+            raise RuntimeError(
+                f"handle for request {self.rid} is not attached to a "
+                "session; use Cluster.cancel(rid) directly"
+            )
+        return self._session.cancel(self)
 
     def ttft(self) -> float | None:
         """Time to first answering token so far (None before it exists)."""
@@ -142,6 +170,9 @@ class SessionSubscriber:
 
     def on_complete(self, handle: RequestHandle, now: float) -> None:
         """``handle`` generated its final answering token (terminal)."""
+
+    def on_cancel(self, handle: RequestHandle, now: float) -> None:
+        """``handle``'s client abandoned it before completion (terminal)."""
 
 
 class EventPrinter(SessionSubscriber):
@@ -203,6 +234,16 @@ class EventPrinter(SessionSubscriber):
         detail = f"e2e {latency:.3f}s" if latency is not None else ""
         self._line(now, "complete", handle, detail)
 
+    def on_cancel(self, handle: RequestHandle, now: float) -> None:
+        req = handle.request
+        self._line(
+            now,
+            "cancel",
+            handle,
+            f"in {req.phase.name.lower()} "
+            f"({req.generated_tokens}/{req.total_decode_tokens} tokens)",
+        )
+
 
 class ServingSession:
     """An online serving deployment: submit, observe, advance, collect.
@@ -257,6 +298,7 @@ class ServingSession:
         cluster.on_phase_hook = self._fire_phase
         cluster.on_first_token_hook = self._fire_first_token
         cluster.on_complete_hook = self._fire_complete
+        cluster.on_cancel_hook = self._fire_cancel
 
     # ------------------------------------------------------------------
     # intake
@@ -294,9 +336,34 @@ class ServingSession:
     def _handle_for(self, request: Request) -> RequestHandle:
         handle = self._handles.get(request)
         if handle is None:
-            handle = RequestHandle(request)
+            handle = RequestHandle(request, self)
             self._handles[request] = handle
         return handle
+
+    def stop_intake(self) -> int:
+        """Detach every attached arrival source (graceful-shutdown cut).
+
+        Requests already pulled from the sources keep running; nothing
+        further is drawn, so a bounded :meth:`step` loop can finish the
+        in-flight work without ingesting the rest of an unbounded
+        stream.  Returns the number of sources detached.  Directly
+        submitted requests are unaffected.
+        """
+        return self.cluster.engine.detach_feeds()
+
+    def cancel(
+        self, target: RequestHandle | Request, at: float | None = None
+    ) -> bool:
+        """Schedule cancellation of a submitted request.
+
+        ``at`` is a simulated time (clamped to the current clock; default
+        = now); the cancel takes effect when the engine dispatches it, in
+        deterministic event order — which makes this safe to call from
+        subscriber callbacks, unlike ``cluster.cancel``.  Returns ``False``
+        when the request is already terminal.
+        """
+        request = target.request if isinstance(target, RequestHandle) else target
+        return self.cluster.request_cancel(request, at)
 
     # ------------------------------------------------------------------
     # observation
@@ -334,6 +401,10 @@ class ServingSession:
     @property
     def n_rejected(self) -> int:
         return len(self.cluster.rejected)
+
+    @property
+    def n_cancelled(self) -> int:
+        return len(self.cluster.cancelled)
 
     @property
     def n_in_flight(self) -> int:
@@ -395,15 +466,16 @@ class ServingSession:
         Raises :class:`RuntimeError` if the simulation stops with
         unresolved requests (horizon hit, or an admission policy deferring
         forever) — a drained session always satisfies the conservation
-        law ``submitted == completed + rejected``.
+        law ``submitted == completed + rejected + cancelled``.
         """
         self.cluster.engine.run()
         self.cluster.sync_instances()
         if not self.cluster.all_finished():
             raise RuntimeError(
                 f"session did not drain: {self.n_completed} completed + "
-                f"{self.n_rejected} rejected of {self.n_submitted} "
-                f"submitted ({self.n_in_flight} in flight)"
+                f"{self.n_rejected} rejected + {self.n_cancelled} "
+                f"cancelled of {self.n_submitted} submitted "
+                f"({self.n_in_flight} in flight)"
             )
         return self.metrics()
 
@@ -460,3 +532,9 @@ class ServingSession:
         handle.status = RequestHandle.COMPLETED
         for sub in self._subscribers:
             sub.on_complete(handle, now)
+
+    def _fire_cancel(self, req: Request, now: float) -> None:
+        handle = self._handle_for(req)
+        handle.status = RequestHandle.CANCELLED
+        for sub in self._subscribers:
+            sub.on_cancel(handle, now)

@@ -147,6 +147,10 @@ class TraceFileSource(ArrivalSource):
                     arrival_t=req.arrival_t / scale,
                     skip_prefill=req.skip_prefill,
                     dataset=req.dataset,
+                    cancel_t=(
+                        None if req.cancel_at is None
+                        else req.cancel_at / scale
+                    ),
                 )
 
 

@@ -45,7 +45,7 @@ from repro.serving.instance import ServingInstance
 from repro.serving.monitor import InstanceMonitor
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import EventKind
-from repro.workload.request import Request
+from repro.workload.request import ReqState, Request
 
 
 #: Registered policy names at import time.  Prefer
@@ -98,6 +98,14 @@ class Cluster:
         self.completed: list[Request] = []
         self.submitted: list[Request] = []
         self.rejected: list[Request] = []
+        #: Client-cancelled requests (terminal; distinct from rejected —
+        #: the client walked away, the cluster did not turn them down).
+        self.cancelled: list[Request] = []
+        #: rid -> request for every submission (cancellation lookup).
+        self._by_rid: dict[int, Request] = {}
+        #: rids the admission gate rejected; rejected requests keep their
+        #: QUEUED scheduling state, so terminality needs its own marker.
+        self._rejected_rids: set[int] = set()
         #: Requests whose ARRIVAL event is scheduled but not yet
         #: dispatched: batch submissions awaiting their arrival time,
         #: source pulls the engine has queued ahead, and admission
@@ -156,6 +164,9 @@ class Cluster:
         self.on_complete_hook: Callable[[Request, float], None] = (
             lambda req, now: None
         )
+        self.on_cancel_hook: Callable[[Request, float], None] = (
+            lambda req, now: None
+        )
         #: Fired by :meth:`epoch_boundary` — the sharded runner's barrier
         #: cadence (see :mod:`repro.shard`).  Unused (and never fired) on
         #: the single-engine path.
@@ -166,6 +177,7 @@ class Cluster:
         self.engine.register(
             EventKind.TRANSFER_COMPLETE, self.migrations.on_transfer_complete
         )
+        self.engine.register(EventKind.CANCEL, self._on_cancel)
         for inst in self.instances:
             inst.on_transition = self._on_phase_transition
             inst.on_complete = self._on_request_complete
@@ -184,6 +196,11 @@ class Cluster:
     # event handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, req: Request) -> None:
+        if req.state is ReqState.CANCELLED:
+            # Cancelled while this (re-)arrival sat in the queue: the
+            # accounting was settled at cancel time (see
+            # :meth:`_cancel_request`); drop the stale dispatch.
+            return
         # Admission and placement read the cluster-wide census; catch
         # every instance's lazily-emitted decode epoch up to now first.
         for inst in self.instances:
@@ -197,6 +214,7 @@ class Cluster:
             action = getattr(decision, "action", "admit")
             if action == "reject":
                 self._deferral_stalls.pop(req.rid, None)
+                self._rejected_rids.add(req.rid)
                 self.rejected.append(req)
                 self.policy.on_arrival_rejected(req, now)
                 self.on_reject_hook(req, now, getattr(decision, "reason", ""))
@@ -215,6 +233,7 @@ class Cluster:
                     # same request to the same gate forever and the
                     # event loop would never drain.  Convert to a
                     # rejection with a distinct reason.
+                    self._rejected_rids.add(req.rid)
                     self.rejected.append(req)
                     self.policy.on_arrival_rejected(req, now)
                     self.on_reject_hook(
@@ -289,6 +308,92 @@ class Cluster:
         self.completed.append(req)
         self.on_complete_hook(req, now)
 
+    def _on_cancel(self, now: float, req: Request) -> None:
+        self._cancel_request(req, now)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def _schedule_scripted_cancel(self, req: Request) -> None:
+        """Schedule a trace-scripted cancellation (``cancel_at``), once.
+
+        Called at submission (not in ``_on_arrival``: a deferral re-fires
+        the ARRIVAL handler and would double-schedule the cancel).
+        """
+        if req.cancel_at is not None:
+            self.engine.schedule(
+                max(req.cancel_at, self.engine.now), EventKind.CANCEL, req
+            )
+
+    def request_cancel(self, req: Request, at: float | None = None) -> bool:
+        """Schedule a cancellation, processed in deterministic event order.
+
+        Safe to call from lifecycle hooks and subscriber callbacks (the
+        immediate :meth:`cancel` is not: it mutates instance state the
+        event currently being dispatched may still be iterating).  Returns
+        ``False`` if the request is already terminal — nothing to cancel.
+        """
+        if (
+            req.finished
+            or req.cancelled
+            or req.rid in self._rejected_rids
+        ):
+            return False
+        at = self.engine.now if at is None else max(at, self.engine.now)
+        self.engine.schedule(at, EventKind.CANCEL, req)
+        return True
+
+    def cancel(self, rid: int, now: float | None = None) -> bool:
+        """Cancel a submitted request immediately, freeing its KV and any
+        plan/epoch state mid-step.
+
+        Returns ``True`` if the request was live (now cancelled), ``False``
+        if it had already completed, been rejected, or been cancelled.
+        Raises ``KeyError`` for a rid this cluster never saw.  Call only
+        between events (not from inside lifecycle hooks — see
+        :meth:`request_cancel` for the re-entrant variant).
+        """
+        req = self._by_rid.get(rid)
+        if req is None:
+            raise KeyError(f"unknown request id {rid}")
+        return self._cancel_request(req, self.engine.now if now is None else now)
+
+    def _cancel_request(self, req: Request, now: float) -> bool:
+        """Dispatch a cancellation by lifecycle position.
+
+        Exactly one of the branches below accounts the request out of the
+        conservation ledger: off an instance, out of the migration fabric,
+        or out of the pending-arrival pool (batch submissions awaiting
+        their arrival time, admission deferrals, queued source pulls —
+        their stale ARRIVAL event is dropped at dispatch).
+        """
+        if req.finished or req.cancelled or req.rid in self._rejected_rids:
+            return False
+        if req.state is ReqState.MIGRATING:
+            if not self.migrations.cancel(req, now):  # pragma: no cover
+                raise RuntimeError(
+                    f"request {req.rid} is MIGRATING but has no active "
+                    "transfer record"
+                )
+        elif req.instance_id is not None:
+            inst = self.instances[req.instance_id]
+            if not inst.cancel_request(req, now):  # pragma: no cover
+                raise RuntimeError(
+                    f"request {req.rid} claims residency on instance "
+                    f"{req.instance_id} but is not registered there"
+                )
+        else:
+            # Never placed: its ARRIVAL is still queued (or parked in the
+            # deferral waiting room awaiting re-arrival).
+            self.pending_arrivals -= 1
+            self._deferred.pop(req.rid, None)
+        self._deferral_stalls.pop(req.rid, None)
+        req.mark_cancelled(now)
+        self.cancelled.append(req)
+        self.policy.on_request_cancelled(req, now)
+        self.on_cancel_hook(req, now)
+        return True
+
     # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
@@ -311,10 +416,12 @@ class Cluster:
         submission ("cannot schedule into the past").
         """
         self.submitted.append(req)
+        self._by_rid[req.rid] = req
         self.pending_arrivals += 1
         self.engine.schedule(
             max(req.arrival_t, self.engine.now), EventKind.ARRIVAL, req
         )
+        self._schedule_scripted_cancel(req)
 
     def submit(self, requests: list[Request]) -> None:
         """Schedule arrival events for a trace (the batch convenience)."""
@@ -340,7 +447,9 @@ class Cluster:
     ) -> Iterator[tuple[float, EventKind, Request]]:
         for req in requests:
             self.submitted.append(req)
+            self._by_rid[req.rid] = req
             self.pending_arrivals += 1
+            self._schedule_scripted_cancel(req)
             yield req.arrival_t, EventKind.ARRIVAL, req
 
     def sync_instances(self) -> None:
@@ -402,8 +511,11 @@ class Cluster:
         return total / (end - start)
 
     def all_finished(self) -> bool:
-        """Every seen request resolved (completed or admission-rejected)."""
-        return len(self.completed) + len(self.rejected) == len(self.submitted)
+        """Every seen request resolved (completed, rejected or cancelled)."""
+        return (
+            len(self.completed) + len(self.rejected) + len(self.cancelled)
+            == len(self.submitted)
+        )
 
     def in_flight(self) -> int:
         """Requests seen but not yet resolved.
@@ -414,7 +526,12 @@ class Cluster:
         For admission decisions prefer :meth:`active_requests`, which
         excludes the not-yet-arrived.
         """
-        return len(self.submitted) - len(self.completed) - len(self.rejected)
+        return (
+            len(self.submitted)
+            - len(self.completed)
+            - len(self.rejected)
+            - len(self.cancelled)
+        )
 
     def active_requests(self) -> int:
         """Requests actually occupying the cluster right now.

@@ -15,7 +15,7 @@ from repro.cluster.fabric import Fabric
 from repro.config import ModelConfig
 from repro.serving.instance import ServingInstance
 from repro.sim.engine import SimulationEngine
-from repro.sim.events import EventKind
+from repro.sim.events import Event, EventKind
 from repro.workload.request import Request
 
 
@@ -28,6 +28,8 @@ class MigrationRecord:
     destination: ServingInstance
     started_t: float
     completes_t: float
+    #: Pending ``TRANSFER_COMPLETE`` handle while in flight (cancellation).
+    event: Event | None = None
 
     @property
     def latency_s(self) -> float:
@@ -48,6 +50,7 @@ class MigrationManager:
         self.model = model
         self.completed: list[MigrationRecord] = []
         self.in_flight = 0
+        self._active: dict[int, MigrationRecord] = {}
 
     def start(
         self,
@@ -72,8 +75,30 @@ class MigrationManager:
             completes_t=completes,
         )
         self.in_flight += 1
-        self.engine.schedule(completes, EventKind.TRANSFER_COMPLETE, record)
+        record.event = self.engine.schedule(
+            completes, EventKind.TRANSFER_COMPLETE, record
+        )
+        self._active[req.rid] = record
         return record
+
+    def cancel(self, req: Request, now: float) -> bool:
+        """Abort an in-flight transfer (client cancellation).
+
+        The source pool still pins the KV (copy-then-free), so release it
+        there; the destination never heard of the request.  The fabric
+        reservation stands — the wire time was committed at reserve time.
+        """
+        record = self._active.pop(req.rid, None)
+        if record is None:
+            return False
+        if record.event is not None:
+            record.event.cancelled = True
+        record.source.sync(now)
+        record.source.pool.release(req)
+        record.source.mark_dirty()
+        record.source.maybe_start_step(now)
+        self.in_flight -= 1
+        return True
 
     def on_transfer_complete(self, now: float, record: MigrationRecord) -> None:
         """The copy landed: free the source pool, admit at the destination."""
@@ -88,6 +113,7 @@ class MigrationManager:
         req.n_migrations += 1
         req.transfer_wait_s += record.latency_s
         self.in_flight -= 1
+        self._active.pop(req.rid, None)
         self.completed.append(record)
         record.destination.accept_migrated(req, now)
 

@@ -187,6 +187,15 @@ class ClusterPolicy:
         load estimators) can override to account for turned-away demand.
         """
 
+    def on_request_cancelled(self, req: Request, now: float) -> None:
+        """A submitted request was cancelled by its client.
+
+        Fired after the request has been accounted out of the cluster
+        (KV freed, plans reformed).  The default ignores it; predictors
+        should *not* train on cancelled requests — their observed lengths
+        are truncated, not representative.
+        """
+
     def predictor_errors(self) -> "dict[str, tuple[float, ...]]":
         """Per-dataset absolute reasoning-length prediction errors (tokens).
 

@@ -42,6 +42,14 @@ Usage::
     python -m repro.harness serve --trace trace.jsonl --policy fcfs \\
         --admit-max 64        # reject arrivals beyond 64 in flight
 
+    # real-time serving: pace the session against the wall clock, and
+    # optionally expose an OpenAI-compatible HTTP endpoint whose client
+    # disconnects become first-class cancellations (docs/serving.md):
+    python -m repro.harness serve --realtime --trace trace.jsonl \\
+        --time-scale 10       # ten simulated seconds per wall second
+    python -m repro.harness serve --realtime --port 8077 \\
+        --oracle sampled --dataset arena-hard --record-trace live.jsonl
+
     # the determinism & contract linter (rules PAS001-PAS008):
     python -m repro.harness lint                      # src + tests
     python -m repro.harness lint --format github      # CI annotations
@@ -68,6 +76,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import os
+import signal
 import sys
 
 from repro.api import (
@@ -284,6 +293,57 @@ def _parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the per-event stream; print only the summary",
+    )
+    serve.add_argument(
+        "--realtime",
+        action="store_true",
+        help="pace the session against the wall clock (events take "
+        "effect when due) instead of running as fast as possible",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help="realtime speed multiplier in simulated seconds per wall "
+        "second (10 = ten times faster than real time; default 1.0)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="with --realtime: serve an OpenAI-compatible HTTP endpoint "
+        "on this port (0 = ephemeral; default: no HTTP gateway)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="gateway bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--oracle",
+        choices=("auto", "header", "trace", "sampled"),
+        default="auto",
+        help="how live HTTP requests map to simulated token lengths: "
+        "x-pascal-* headers, a recorded trace's shapes (--oracle-trace), "
+        "seeded dataset sampling (--dataset/--seed), or auto = headers "
+        "with trace/sampled fallback (default)",
+    )
+    serve.add_argument(
+        "--oracle-trace",
+        metavar="PATH",
+        default=None,
+        help="trace file backing the `trace` length oracle",
+    )
+    serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="wall-second budget for finishing in-flight requests at "
+        "shutdown (default: 5.0)",
     )
     importer = parser.add_argument_group("log conversion (import-trace)")
     importer.add_argument(
@@ -544,13 +604,9 @@ def _run_import_trace(args) -> int:
     return 0
 
 
-def _run_serve(args) -> int:
-    """`serve`: stream a trace through the online ServingSession API."""
-    if not args.trace:
-        print("serve needs an input trace: --trace PATH", file=sys.stderr)
-        return 2
+def _build_serve_session(args) -> "ServingSession | None":
+    """Construct the serve session (usage errors print and return None)."""
     try:
-        trace = ReplayTraceConfig(path=args.trace, rate_scale=args.rate_scale)
         get_policy_class(args.policy)
         admission = None
         if args.admit_max is not None:
@@ -562,7 +618,7 @@ def _run_serve(args) -> int:
             )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
-        return 2
+        return None
     session = ServingSession(
         policy=args.policy,
         config=settings.cluster_config(),
@@ -570,6 +626,81 @@ def _run_serve(args) -> int:
     )
     if not args.quiet:
         session.subscribe(EventPrinter())
+    return session
+
+
+def _serve_accounting(session) -> str:
+    """The final-state line every serve exit path prints."""
+    line = (
+        f"serve: final submitted={session.n_submitted} "
+        f"completed={session.n_completed} "
+        f"cancelled={session.n_cancelled} "
+        f"rejected={session.n_rejected}"
+    )
+    if session.n_in_flight:
+        line += f" in-flight={session.n_in_flight}"
+    return line
+
+
+def _serve_drain(session, deadline_s: float) -> None:
+    """Finish in-flight work, fast-forward, within a wall budget."""
+    from repro.serve import fast_forward_drain
+
+    fast_forward_drain(session, deadline_s)
+
+
+def _serve_record(session, path: str) -> int:
+    """`serve --record-trace`: export the traffic actually served."""
+    from repro.serve import stamp_live_cancels
+
+    try:
+        export_trace(
+            stamp_live_cancels(session.cluster.submitted), path
+        )
+    except OSError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(f"served traffic recorded -> {path}")
+    return 0
+
+
+def _serve_oracle(args):
+    """Build the length oracle for the gateway (ValueError on bad args)."""
+    from repro.serve import (
+        HeaderOracle,
+        OracleChain,
+        SampledOracle,
+        TraceOracle,
+    )
+
+    if args.dataset == "reasoning-heavy-mix":
+        sampled_dataset = args.dataset
+    else:
+        get_dataset(args.dataset)  # KeyError -> usage error upstream
+        sampled_dataset = args.dataset
+    if args.oracle == "header":
+        return HeaderOracle()
+    if args.oracle == "trace" or (
+        args.oracle == "auto" and args.oracle_trace
+    ):
+        if not args.oracle_trace:
+            raise ValueError("--oracle trace needs --oracle-trace PATH")
+        fallback = TraceOracle(args.oracle_trace)
+    elif args.oracle == "sampled" or args.oracle == "auto":
+        fallback = SampledOracle(sampled_dataset, args.seed)
+    if args.oracle in ("trace", "sampled"):
+        return fallback
+    return OracleChain((HeaderOracle(), fallback))
+
+
+def _run_serve_offline(args) -> int:
+    """`serve` without --realtime: replay as fast as possible."""
+    session = _build_serve_session(args)
+    if session is None:
+        return 2
+    trace = ReplayTraceConfig(path=args.trace, rate_scale=args.rate_scale)
+    # SIGTERM behaves like ^C: cut intake, drain bounded, report.
+    signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
     try:
         # Attaching primes the source's first record, so file problems
         # (missing trace, malformed line 1) surface here as well as
@@ -579,16 +710,141 @@ def _run_serve(args) -> int:
     except (TraceFormatError, OSError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        _serve_drain(session, args.drain_deadline)
+        print(_serve_accounting(session))
+        if args.record_trace:
+            _serve_record(session, args.record_trace)
+        return 130
     ttfts = metrics.ttfts()
     mean_ttft = (
         f"{sum(ttfts) / len(ttfts):.3f}s mean ttft" if ttfts else "no ttft"
     )
     print(
         f"served {session.n_completed} requests "
-        f"({session.n_rejected} rejected) from {trace.name} under "
+        f"({session.n_rejected} rejected, {session.n_cancelled} cancelled) "
+        f"from {trace.name} under "
         f"{args.policy} in {session.now:.1f}s simulated; {mean_ttft}"
     )
+    print(_serve_accounting(session))
+    if args.record_trace:
+        return _serve_record(session, args.record_trace)
     return 0
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
+def _run_serve_realtime(args) -> int:
+    """`serve --realtime`: wall-clock pacing, optional HTTP gateway."""
+    from repro.serve import WallClockPacer
+
+    session = _build_serve_session(args)
+    if session is None:
+        return 2
+    try:
+        pacer = WallClockPacer(session, time_scale=args.time_scale)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        trace = ReplayTraceConfig(
+            path=args.trace, rate_scale=args.rate_scale
+        )
+        try:
+            session.attach(TraceFileSource(trace))
+        except (TraceFormatError, OSError) as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+
+    if args.port is not None:
+        status = _serve_gateway_loop(args, session, pacer)
+        if status != 0:
+            return status
+    else:
+        if not args.trace:
+            print(
+                "serve --realtime needs --trace PATH (or --port P for "
+                "live HTTP traffic)",
+                file=sys.stderr,
+            )
+            return 2
+        stopped = _pace_until_signalled(pacer)
+        if stopped:
+            print("serve: interrupted, draining", file=sys.stderr)
+    _serve_drain(session, args.drain_deadline)
+    print(_serve_accounting(session))
+    if args.record_trace:
+        return _serve_record(session, args.record_trace)
+    return 0
+
+
+def _pace_until_signalled(pacer) -> bool:
+    """Run the pacer until the trace drains or SIGINT/SIGTERM arrives."""
+    stop = {"requested": False}
+
+    def _on_signal(signum, frame):
+        stop["requested"] = True
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        pacer.run(should_stop=lambda: stop["requested"])
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return stop["requested"]
+
+
+def _serve_gateway_loop(args, session, pacer) -> int:
+    """Run the OpenAI-compatible gateway until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.serve import Gateway
+
+    try:
+        oracle = _serve_oracle(args)
+    except (ValueError, KeyError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else exc
+        print(f"serve: {message}", file=sys.stderr)
+        return 2
+    gateway = Gateway(pacer, oracle, host=args.host, port=args.port)
+
+    async def _main() -> None:
+        await gateway.start()
+        print(
+            f"serving {gateway.model_name} on "
+            f"http://{args.host}:{gateway.bound_port} "
+            f"(policy {args.policy}, x{args.time_scale:g} time)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("serve: interrupted, draining", file=sys.stderr)
+        await gateway.stop()
+
+    try:
+        asyncio.run(_main())
+    except OSError as exc:  # bind failure
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_serve(args) -> int:
+    """`serve`: stream a trace (or live HTTP traffic) through a session."""
+    if args.realtime:
+        return _run_serve_realtime(args)
+    if not args.trace:
+        print("serve needs an input trace: --trace PATH", file=sys.stderr)
+        return 2
+    return _run_serve_offline(args)
 
 
 def _run_cache_command(args, actions: list[str]) -> int:

@@ -48,7 +48,9 @@ from repro.workload.request import Phase, Request, ReqState
 
 CACHE_FORMAT = "pascal-cache"
 # v2: payloads carry predictor_rank_pairs and n_deferrals (strict reads).
-CACHE_VERSION = 2
+# v3: payloads carry cancelled requests; request records carry
+#     cancel_at/cancelled_t (strict reads).
+CACHE_VERSION = 3
 
 #: Cache modes: ``off`` (no disk), ``ro`` (read, never write), ``rw``.
 CACHE_MODES = ("off", "ro", "rw")
@@ -114,7 +116,13 @@ def _simulator_sources() -> list[Path]:
     files = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel in _NON_SIMULATOR_MODULES or "/bench/" in f"/{rel}":
+        # ``bench`` (measurement harness) and ``serve`` (wall-clock
+        # gateway) never determine a simulated result: cells replayed
+        # from a serve-recorded trace are addressed by the trace's
+        # *content*, so gateway edits cannot change any cached table.
+        if rel in _NON_SIMULATOR_MODULES or any(
+            f"/{pkg}/" in f"/{rel}" for pkg in ("bench", "serve")
+        ):
             continue
         files.append(path)
     return files
@@ -224,6 +232,8 @@ _REQUEST_SCALARS = (
     "first_answer_t",
     "answer_sched_t",
     "done_t",
+    "cancel_at",
+    "cancelled_t",
     "n_preemptions",
     "n_migrations",
     "transfer_wait_s",
@@ -281,15 +291,16 @@ def metrics_to_payload(metrics: RunMetrics) -> dict:
         },
         "requests": [request_to_record(r) for r in metrics.requests],
         "rejected": [request_to_record(r) for r in metrics.rejected],
+        "cancelled": [request_to_record(r) for r in metrics.cancelled],
         "n_deferrals": metrics.n_deferrals,
     }
 
 
 def metrics_from_payload(payload: dict) -> RunMetrics:
-    # `predictor_abs_errors`, `predictor_rank_pairs`, `rejected` and
-    # `n_deferrals` are read strictly: a codec (or cache entry) that drops
-    # any of them must surface as a decode failure — recomputed as a miss
-    # — not as silently empty columns in a figure.
+    # `predictor_abs_errors`, `predictor_rank_pairs`, `rejected`,
+    # `cancelled` and `n_deferrals` are read strictly: a codec (or cache
+    # entry) that drops any of them must surface as a decode failure —
+    # recomputed as a miss — not as silently empty columns in a figure.
     return RunMetrics(
         policy=payload["policy"],
         requests=[request_from_record(r) for r in payload["requests"]],
@@ -304,6 +315,7 @@ def metrics_from_payload(payload: dict) -> RunMetrics:
             for dataset, pairs in payload["predictor_rank_pairs"].items()
         },
         rejected=[request_from_record(r) for r in payload["rejected"]],
+        cancelled=[request_from_record(r) for r in payload["cancelled"]],
         n_deferrals=payload["n_deferrals"],
     )
 

@@ -59,6 +59,9 @@ def trace_compare(
     results = sweep(cells, jobs=jobs)
     slo = settings.cluster_config().slo
     rows = []
+    cancelled_counts = {
+        cell.policy: results[cell].n_cancelled for cell in cells
+    }
     for cell in cells:
         metrics = results[cell]
         ttfts = metrics.ttfts()
@@ -98,5 +101,18 @@ def trace_compare(
             "replays the identical request list",
             "violation: QoE (TPOT-anchored) below threshold; unserved "
             "requests count as violations",
-        ],
+        ]
+        + (
+            # Only when the trace scripts cancellations (cancel_t
+            # records): pre-existing tables stay byte-identical.
+            [
+                "cancelled (client abandoned, scripted cancel_t): "
+                + ", ".join(
+                    f"{policy}={count}"
+                    for policy, count in cancelled_counts.items()
+                )
+            ]
+            if any(cancelled_counts.values())
+            else []
+        ),
     )

@@ -45,6 +45,10 @@ class RunMetrics:
     )
     #: Requests rejected by admission control (never placed, never run).
     rejected: list[Request] = field(default_factory=list)
+    #: Requests cancelled by their client before completing (disjoint from
+    #: both ``requests`` and ``rejected``: the cluster was serving them,
+    #: the client walked away).  They enter no latency or SLO view.
+    cancelled: list[Request] = field(default_factory=list)
     #: Admission deferral events over the run (one request deferred k
     #: times counts k; 0 everywhere no gate defers).
     n_deferrals: int = 0
@@ -53,6 +57,11 @@ class RunMetrics:
     def n_rejected(self) -> int:
         """Admission rejections (``rejected`` is the full request list)."""
         return len(self.rejected)
+
+    @property
+    def n_cancelled(self) -> int:
+        """Client cancellations (``cancelled`` is the full request list)."""
+        return len(self.cancelled)
 
     # ------------------------------------------------------------------
     # latency views
@@ -224,5 +233,6 @@ def collect(cluster, requests: list[Request] | None = None) -> RunMetrics:
         predictor_abs_errors=cluster.policy.predictor_errors(),
         predictor_rank_pairs=cluster.policy.predictor_rank_pairs(),
         rejected=list(cluster.rejected),
+        cancelled=list(cluster.cancelled),
         n_deferrals=cluster.n_deferrals,
     )

@@ -1,0 +1,51 @@
+"""Real-time serving: wall-clock pacing, HTTP gateway, live cancellation.
+
+The rest of the repository runs the simulator as fast as Python allows —
+the clock is a number that jumps from event to event.  This package runs
+the *same* simulator against a wall clock:
+
+* :class:`~repro.serve.pacer.WallClockPacer` anchors simulated time to a
+  monotonic clock and sleeps until the next event is due, accepting
+  externally injected arrivals and cancellations between events;
+* :class:`~repro.serve.gateway.Gateway` is an asyncio, OpenAI-compatible
+  HTTP endpoint (``POST /v1/chat/completions`` with SSE streaming) whose
+  tokens are released by the pacer, and whose client disconnects become
+  first-class cancellations;
+* :mod:`~repro.serve.oracle` maps live HTTP requests onto simulator
+  workload parameters (token lengths, dataset label);
+* :mod:`~repro.serve.record` turns a live run's traffic — cancellations
+  included — into a version-2 JSONL trace that replays offline,
+  deterministically, through ``trace-compare``.
+
+Wall time never influences *simulated* outcomes: it only decides when the
+engine is cranked.  Everything here is therefore exempt from the PAS001
+wall-clock lint rule (see ``docs/lint_rules.md``) but still records its
+results on the deterministic simulated timeline.
+"""
+
+from repro.serve.gateway import Gateway
+from repro.serve.oracle import (
+    HeaderOracle,
+    LengthOracle,
+    OracleChain,
+    OracleError,
+    SampledOracle,
+    TraceOracle,
+    default_oracle,
+)
+from repro.serve.pacer import WallClockPacer, fast_forward_drain
+from repro.serve.record import stamp_live_cancels
+
+__all__ = [
+    "Gateway",
+    "HeaderOracle",
+    "LengthOracle",
+    "OracleChain",
+    "OracleError",
+    "SampledOracle",
+    "TraceOracle",
+    "WallClockPacer",
+    "default_oracle",
+    "fast_forward_drain",
+    "stamp_live_cancels",
+]

@@ -1,0 +1,473 @@
+"""OpenAI-compatible HTTP gateway over a wall-clock-paced session.
+
+A small asyncio server (stdlib only — ``asyncio.start_server`` plus
+hand-rolled HTTP/1.1 parsing) that turns the simulator into something a
+real OpenAI client can talk to:
+
+* ``POST /v1/chat/completions`` — submits a simulated request (shaped by
+  the configured :mod:`~repro.serve.oracle`) and, with ``"stream": true``,
+  streams SSE chunks whose timing is the *simulated* token timing, paced
+  to wall time by the :class:`~repro.serve.pacer.WallClockPacer`;
+* ``GET /v1/models`` — the single simulated model;
+* ``GET /metrics`` — a JSON snapshot of the session's counters.
+
+Cancellation is first-class: a client that drops its connection
+mid-stream cancels the simulated request — KV freed, plans reformed —
+and the abort shows up in ``/metrics`` (and any recorded trace) as
+``cancelled``, never as a completion.
+
+One event loop, no locks: the pacing task and every connection handler
+interleave cooperatively.  Handlers never advance the simulation
+directly; they inject work and wake the pacing task, which is the only
+place :meth:`~repro.serve.pacer.WallClockPacer.poll` runs once
+:meth:`Gateway.start` has anchored the clock.  After each poll the
+pacing task *rotates the tick*: every open stream holds the current tick
+event, and setting it wakes them all to emit whatever tokens the poll
+released.
+
+Token *content* is deterministic filler (``tok0 tok1 ...``): the
+simulator models timing, not language.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Mapping
+
+from repro.api.session import RequestHandle
+from repro.serve.oracle import LengthOracle, OracleError
+from repro.serve.pacer import WallClockPacer
+
+#: Live HTTP requests get rids from here up, far above any trace rid, so
+#: recorded mixed (trace + live) runs never collide.
+HTTP_RID_BASE = 10**6
+
+#: Largest accepted request head + body (bytes); pure DoS hygiene.
+_MAX_HEAD_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _token_text(index: int) -> str:
+    """Deterministic filler for the ``index``-th answer token."""
+    return f"tok{index} "
+
+
+class Gateway:
+    """The HTTP front door of a paced serving session."""
+
+    def __init__(
+        self,
+        pacer: WallClockPacer,
+        oracle: LengthOracle,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        model_name: str = "pascal-sim",
+    ):
+        self.pacer = pacer
+        self.oracle = oracle
+        self.host = host
+        self.port = port
+        self.model_name = model_name
+        self._rids = itertools.count(HTTP_RID_BASE)
+        self._server: asyncio.AbstractServer | None = None
+        self._pacing_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stopping = False
+        #: Rotated by the pacing loop after every poll; streams wait on
+        #: the *current* tick to learn "new simulated time was released".
+        self._tick = asyncio.Event()
+        #: Set by handlers after injecting work, waking the pacing loop
+        #: early so a fresh arrival doesn't wait out a long idle sleep.
+        self._kick = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Anchor the pacer, bind the socket, start the pacing loop."""
+        self.pacer.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self._pacing_task = asyncio.create_task(self._pacing_loop())
+
+    @property
+    def bound_port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("gateway not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def stop(self) -> None:
+        """Stop accepting, abort open streams, stop the pacing loop.
+
+        Simulated requests behind aborted streams stay in flight; the
+        caller decides whether to fast-forward them to completion (the
+        CLI's drain) or abandon the session.
+        """
+        self._stopping = True
+        self._kick.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pacing_task is not None:
+            await self._pacing_task
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+    async def _pacing_loop(self) -> None:
+        while not self._stopping:
+            delay = self.pacer.poll()
+            # Wake every open stream: the poll may have released tokens
+            # or resolved requests.
+            tick, self._tick = self._tick, asyncio.Event()
+            tick.set()
+            if delay is None:
+                delay = self.pacer.max_poll_s
+            kick = self._kick
+            try:
+                await asyncio.wait_for(
+                    kick.wait(), timeout=min(delay, self.pacer.max_poll_s)
+                )
+            except asyncio.TimeoutError:
+                pass
+            if kick.is_set():
+                self._kick = asyncio.Event()
+        # Final rotation so any stream mid-wait re-checks state and sees
+        # its task cancelled promptly.
+        self._tick.set()
+
+    def _wake_pacer(self) -> None:
+        self._kick.set()
+
+    async def _next_tick(self, eof: asyncio.Task) -> bool:
+        """Wait for the next pacing tick; True if the client vanished."""
+        tick_wait = asyncio.ensure_future(self._tick.wait())
+        try:
+            await asyncio.wait(
+                {tick_wait, eof}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            tick_wait.cancel()
+        return eof.done()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            pass  # client hung up mid-request / mid-response
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > _MAX_HEAD_BYTES:
+            await self._respond_error(writer, 431, "headers too large")
+            return
+        request_line, headers = self._parse_head(head)
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            await self._respond_error(writer, 400, "malformed request line")
+            return
+        method, path, _ = parts
+        path = path.split("?", 1)[0]
+        body = b""
+        length_text = headers.get("content-length", "0") or "0"
+        try:
+            length = int(length_text)
+        except ValueError:
+            await self._respond_error(writer, 400, "bad content-length")
+            return
+        if length > _MAX_BODY_BYTES:
+            await self._respond_error(writer, 413, "body too large")
+            return
+        if length:
+            body = await reader.readexactly(length)
+
+        if method == "GET" and path == "/v1/models":
+            await self._respond_json(writer, 200, self._models_payload())
+        elif method == "GET" and path == "/metrics":
+            self.pacer.poll()  # counters as of this wall instant
+            await self._respond_json(writer, 200, self._metrics_payload())
+        elif method == "POST" and path == "/v1/chat/completions":
+            await self._handle_completion(reader, writer, headers, body)
+        else:
+            await self._respond_error(
+                writer, 404, f"no route for {method} {path}"
+            )
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, dict[str, str]]:
+        lines = head.decode("latin-1").split("\r\n")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return lines[0], headers
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def _models_payload(self) -> dict:
+        return {
+            "object": "list",
+            "data": [
+                {
+                    "id": self.model_name,
+                    "object": "model",
+                    "created": 0,
+                    "owned_by": "pascal-sim",
+                }
+            ],
+        }
+
+    def _metrics_payload(self) -> dict:
+        session = self.pacer.session
+        return {
+            "policy": session.cluster.policy_name,
+            "time_scale": self.pacer.time_scale,
+            "sim_now": session.now,
+            "submitted": session.n_submitted,
+            "completed": session.n_completed,
+            "cancelled": session.n_cancelled,
+            "rejected": session.n_rejected,
+            "in_flight": session.n_in_flight,
+        }
+
+    async def _handle_completion(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Mapping[str, str],
+        body: bytes,
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            await self._respond_error(writer, 400, "body is not valid JSON")
+            return
+        if not isinstance(payload, dict):
+            await self._respond_error(writer, 400, "body must be an object")
+            return
+        max_tokens = payload.get("max_tokens")
+        if max_tokens is not None and (
+            isinstance(max_tokens, bool)
+            or not isinstance(max_tokens, int)
+            or max_tokens < 1
+        ):
+            await self._respond_error(
+                writer, 400, "max_tokens must be a positive integer"
+            )
+            return
+
+        rid = next(self._rids)
+        arrival_t = self.pacer.sim_now
+        try:
+            request = self.oracle.resolve(rid, arrival_t, headers, payload)
+        except OracleError as exc:
+            await self._respond_error(writer, 400, str(exc))
+            return
+        if request is None:
+            await self._respond_error(
+                writer, 400, "no oracle claimed the request"
+            )
+            return
+        if max_tokens is not None:
+            request.answer_len = min(request.answer_len, max_tokens)
+        handle = self.pacer.submit(request)
+        self._wake_pacer()
+
+        eof = asyncio.ensure_future(self._watch_eof(reader))
+        try:
+            if payload.get("stream"):
+                await self._stream_completion(writer, handle, eof)
+            else:
+                await self._await_completion(writer, handle, eof)
+        finally:
+            eof.cancel()
+            # A handler exiting abnormally (client reset mid-write, task
+            # cancelled at shutdown) must not leak a live simulated
+            # request; cancel() is a no-op on terminal ones.
+            if not handle.done:
+                self.pacer.cancel(handle)
+                self._wake_pacer()
+
+    @staticmethod
+    async def _watch_eof(reader: asyncio.StreamReader) -> None:
+        """Resolve when the client closes (or resets) its connection."""
+        try:
+            while await reader.read(4096):
+                pass  # ignore pipelined bytes; one request per connection
+        except ConnectionError:
+            pass
+
+    async def _stream_completion(
+        self,
+        writer: asyncio.StreamWriter,
+        handle: RequestHandle,
+        eof: asyncio.Task,
+    ) -> None:
+        request = handle.request
+        chat_id = f"chatcmpl-sim{request.rid}"
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        self._write_chunk(writer, chat_id, request, {"role": "assistant"})
+        await writer.drain()
+        sent = 0
+        while True:
+            times = request.answer_token_times
+            while sent < len(times):
+                self._write_chunk(
+                    writer, chat_id, request, {"content": _token_text(sent)}
+                )
+                sent += 1
+            await writer.drain()
+            if handle.done:
+                break
+            if await self._next_tick(eof):
+                # Client disconnected mid-stream: a first-class cancel.
+                self.pacer.cancel(handle)
+                self._wake_pacer()
+                return
+        if handle.status == RequestHandle.COMPLETED:
+            self._write_chunk(
+                writer, chat_id, request, {}, finish_reason="stop"
+            )
+            writer.write(b"data: [DONE]\n\n")
+            await writer.drain()
+        # Rejected or externally cancelled: the stream just ends — the
+        # outcome is visible in /metrics, not invented as a completion.
+
+    async def _await_completion(
+        self,
+        writer: asyncio.StreamWriter,
+        handle: RequestHandle,
+        eof: asyncio.Task,
+    ) -> None:
+        while not handle.done:
+            if await self._next_tick(eof):
+                self.pacer.cancel(handle)
+                self._wake_pacer()
+                return
+        request = handle.request
+        if handle.status != RequestHandle.COMPLETED:
+            await self._respond_error(
+                writer,
+                503,
+                f"request {handle.status} by the serving policy",
+            )
+            return
+        content = "".join(
+            _token_text(i) for i in range(len(request.answer_token_times))
+        )
+        await self._respond_json(
+            writer,
+            200,
+            {
+                "id": f"chatcmpl-sim{request.rid}",
+                "object": "chat.completion",
+                "created": int(request.arrival_t),
+                "model": self.model_name,
+                "choices": [
+                    {
+                        "index": 0,
+                        "message": {"role": "assistant", "content": content},
+                        "finish_reason": "stop",
+                    }
+                ],
+                "usage": {
+                    "prompt_tokens": request.prompt_len,
+                    "completion_tokens": request.answer_len,
+                    "reasoning_tokens": request.reasoning_len,
+                    "total_tokens": request.prompt_len
+                    + request.total_decode_tokens,
+                },
+            },
+        )
+
+    def _write_chunk(
+        self,
+        writer: asyncio.StreamWriter,
+        chat_id: str,
+        request,
+        delta: dict,
+        finish_reason: str | None = None,
+    ) -> None:
+        chunk = {
+            "id": chat_id,
+            "object": "chat.completion.chunk",
+            "created": int(request.arrival_t),
+            "model": self.model_name,
+            "choices": [
+                {"index": 0, "delta": delta, "finish_reason": finish_reason}
+            ],
+        }
+        writer.write(b"data: " + json.dumps(chunk).encode("utf-8") + b"\n\n")
+
+    # ------------------------------------------------------------------
+    # response plumbing
+    # ------------------------------------------------------------------
+    _STATUS_TEXT = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        413: "Payload Too Large",
+        431: "Request Header Fields Too Large",
+        503: "Service Unavailable",
+    }
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        text = self._STATUS_TEXT.get(status, "")
+        writer.write(
+            f"HTTP/1.1 {status} {text}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+        )
+        writer.write(body)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, status: int, message: str
+    ) -> None:
+        await self._respond_json(
+            writer,
+            status,
+            {"error": {"message": message, "type": "invalid_request_error"}},
+        )

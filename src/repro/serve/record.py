@@ -1,0 +1,44 @@
+"""Turn a live serving run into a replayable version-2 JSONL trace.
+
+A paced run's simulated timeline is deterministic given the (simulated)
+timestamps of its arrivals and cancellations — the wall clock only
+decides when the engine is cranked.  Recording those timestamps into the
+trace schema therefore captures the run completely: replaying the file
+offline (``python -m repro.harness serve --trace ...`` or
+``trace-compare``) reproduces every admission, token, and cancellation
+event-for-event.
+
+Arrival times are already on the requests.  Cancellation times live in
+``cancelled_t`` (when the cancel *took effect*), which
+:func:`stamp_live_cancels` copies onto the scripted ``cancel_at`` field
+the trace format serializes as ``cancel_t``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.workload.request import Request
+
+
+def stamp_live_cancels(requests: Iterable[Request]) -> list[Request]:
+    """Copy live cancellation instants onto the scripted ``cancel_at``.
+
+    The trace schema requires ``cancel_t`` strictly after ``arrival_t``
+    (a cancel at-or-before arrival would be a request that never
+    existed), while a live client may abandon a request the instant it
+    was submitted — or, for scripted background traffic, even before its
+    nominal arrival.  Those are clamped to the smallest representable
+    instant after arrival, which replays identically: the request is
+    cancelled before it does any work.
+
+    Returns the input as a list (requests are mutated in place).
+    """
+    requests = list(requests)
+    for req in requests:
+        if req.cancelled and req.cancelled_t is not None:
+            req.cancel_at = max(
+                req.cancelled_t, math.nextafter(req.arrival_t, math.inf)
+            )
+    return requests

@@ -202,6 +202,36 @@ class ServingInstance:
             self._pending_kv -= req.full_kv_tokens
         self.mark_dirty()
 
+    def cancel_request(self, req: Request, now: float) -> bool:
+        """Evict a resident request immediately (client cancellation).
+
+        Frees its KV footprint — pool blocks if allocated (GPU or CPU),
+        the pending-KV claim otherwise — and drops it from any in-flight
+        plan.  An already-launched engine step still completes at its
+        scheduled time (that compute was committed when the step began),
+        but the cancelled request emits no further tokens: it is removed
+        from the plan's request list before the step's emit runs.  The
+        caller owns the request-side bookkeeping (``mark_cancelled``).
+        Returns ``False`` when the request is not resident here.
+        """
+        if req not in self.requests:
+            return False
+        self.sync(now)
+        # Truncates an in-flight decode epoch down to its started step,
+        # so everything after this instant is re-planned without ``req``.
+        self.mark_dirty()
+        plan = self._plan
+        if plan is not None and req in plan.requests:
+            plan.requests.remove(req)
+        self.requests.discard(req)
+        if self.pool.holds(req):
+            self.pool.release(req)
+        else:
+            self._pending_kv -= req.full_kv_tokens
+        self.mark_dirty()
+        self.maybe_start_step(now)
+        return True
+
     def mark_dirty(self) -> None:
         self._dirty = True
         if self._epoch is not None and not self._emitting:

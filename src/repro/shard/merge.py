@@ -50,6 +50,10 @@ def merge_metrics(parts: Sequence[RunMetrics]) -> RunMetrics:
         (req for part in parts for req in part.rejected),
         key=lambda req: (req.arrival_t, req.rid),
     )
+    cancelled = sorted(
+        (req for part in parts for req in part.cancelled),
+        key=lambda req: (req.cancelled_t, req.rid),
+    )
     transfer = [
         lat for part in parts for lat in part.transfer_latencies_s
     ]
@@ -64,6 +68,7 @@ def merge_metrics(parts: Sequence[RunMetrics]) -> RunMetrics:
         transfer_latencies_s=transfer,
         predictor_abs_errors=errors,
         rejected=rejected,
+        cancelled=cancelled,
     )
 
 

@@ -107,6 +107,19 @@ class SimulationEngine:
         """True when every attached feed has been fully consumed."""
         return not self._feeds
 
+    def detach_feeds(self) -> int:
+        """Stop pulling from every attached feed (graceful-shutdown cut).
+
+        Each feed's already-materialized head event still dispatches —
+        its payload was accounted when it was pulled, so dropping it
+        would break the cluster's conservation law — but no further
+        items are drawn.  Returns the number of feeds detached.
+        """
+        count = len(self._feeds)
+        self._feeds.clear()
+        self._feed_heads.clear()
+        return count
+
     def _advance_feed(self, feed: _Feed) -> None:
         """Pull the feed's next item into the queue (or retire the feed).
 

@@ -24,6 +24,8 @@ class EventKind(Enum):
     TRANSFER_COMPLETE = auto()
     #: Generic callback event (used by tests and auxiliary models).
     CALLBACK = auto()
+    #: A client abandoned its request (disconnect / explicit abort).
+    CANCEL = auto()
 
 
 class Event:

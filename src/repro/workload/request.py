@@ -41,6 +41,8 @@ class ReqState(Enum):
     MIGRATING = auto()
     #: All answering tokens generated.
     FINISHED = auto()
+    #: Abandoned by its client before completing (terminal, not an error).
+    CANCELLED = auto()
 
 
 #: Time-accounting buckets used by the latency-breakdown figures.
@@ -67,6 +69,7 @@ class Request:
         "arrival_t",
         "skip_prefill",
         "dataset",
+        "cancel_at",
         # live scheduling state
         "phase",
         "state",
@@ -88,6 +91,7 @@ class Request:
         "first_answer_t",
         "answer_sched_t",
         "done_t",
+        "cancelled_t",
         "answer_token_times",
         "n_preemptions",
         "n_migrations",
@@ -115,6 +119,8 @@ class Request:
         self.arrival_t = arrival_t
         self.skip_prefill = skip_prefill
         self.dataset = dataset
+        #: Scripted cancellation time (trace replay); ``None`` = never.
+        self.cancel_at: float | None = None
 
         self.phase = Phase.REASONING if reasoning_len > 0 else Phase.ANSWERING
         self.state = ReqState.QUEUED
@@ -136,6 +142,7 @@ class Request:
         self.first_answer_t: float | None = None
         self.answer_sched_t: float | None = None
         self.done_t: float | None = None
+        self.cancelled_t: float | None = None
         self.answer_token_times: list[float] = []
         self.n_preemptions = 0
         self.n_migrations = 0
@@ -209,7 +216,7 @@ class Request:
     # state transitions (called by the serving instance)
     # ------------------------------------------------------------------
     def _accumulate(self, now: float) -> None:
-        if self.state == ReqState.FINISHED:
+        if self.state in (ReqState.FINISHED, ReqState.CANCELLED):
             return
         elapsed = now - self._state_since
         if elapsed < 0:
@@ -271,6 +278,26 @@ class Request:
                 self.phase = Phase.DONE
                 self.state = ReqState.FINISHED
                 self.done_t = now
+
+    def mark_cancelled(self, now: float) -> None:
+        """Terminate the request as client-cancelled.
+
+        The phase is left where the cancel caught it (it records how far
+        the request got); only the scheduling state becomes terminal.
+        """
+        if self.state in (ReqState.FINISHED, ReqState.CANCELLED):
+            raise RuntimeError(
+                f"request {self.rid} cancelled while already {self.state.name}"
+            )
+        if now >= self._state_since:
+            self._accumulate(now)
+        # else: cancelled before its nominal arrival — no interval to close.
+        self.state = ReqState.CANCELLED
+        self.cancelled_t = now
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == ReqState.CANCELLED
 
     def mark_reasoning_precomputed(self, now: float) -> None:
         """Treat prefill+reasoning as already executed (Figure 5 workload)."""

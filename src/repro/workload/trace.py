@@ -9,8 +9,8 @@ Two ways to obtain a serving trace:
   a recorded JSONL trace, so production logs (or previously synthesized
   traces) can be replayed byte-identically through every policy.
 
-The JSONL trace format (version 1) is one header object followed by one
-object per request, arrival-ordered::
+The JSONL trace format is one header object followed by one object per
+request, arrival-ordered::
 
     {"format": "pascal-trace", "version": 1}
     {"answer_len": 50, "arrival_t": 0.0, "dataset": "alpaca-eval-2.0",
@@ -20,9 +20,17 @@ object per request, arrival-ordered::
 ``reasoning_len`` (>= 0) and ``answer_len`` (>= 1) are required;
 ``dataset`` (string tag), ``id`` (unique request id, defaults to the
 record's position) and ``skip_prefill`` (the prompt+reasoning KV cache
-already exists, Figure 5's workload) are optional.  :func:`export_trace`
-writes this format with sorted keys, so export -> load -> export is
-byte-identical.
+already exists, Figure 5's workload) are optional.
+
+**Version 2** additionally allows an optional ``cancel_t`` per record (a
+finite time strictly after ``arrival_t``): the client abandons the
+request at that simulated time, so recorded live traffic — including
+disconnects at the serving gateway — replays deterministically offline.
+The reader accepts both versions; :func:`dump_trace` emits the *lowest*
+version that can represent its records (version 1 unless some request
+carries a scripted cancellation), so a version-1 file round-trips
+byte-identically through load -> export.  :func:`export_trace` writes
+sorted keys for the same reason.
 """
 
 from __future__ import annotations
@@ -38,12 +46,17 @@ from repro.workload.datasets import DatasetSpec, MixedDataset, sample_trace
 from repro.workload.request import Request
 
 TRACE_FORMAT = "pascal-trace"
-TRACE_VERSION = 1
+#: Newest trace version this module reads and writes.
+TRACE_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
-#: Fields a version-1 trace record may carry.
 _REQUIRED_FIELDS = ("arrival_t", "prompt_len", "reasoning_len", "answer_len")
 _OPTIONAL_FIELDS = ("dataset", "id", "skip_prefill")
-_ALLOWED_FIELDS = frozenset(_REQUIRED_FIELDS + _OPTIONAL_FIELDS)
+#: Per-version allowed field sets: version 2 adds ``cancel_t``.
+_ALLOWED_FIELDS_BY_VERSION = {
+    1: frozenset(_REQUIRED_FIELDS + _OPTIONAL_FIELDS),
+    2: frozenset(_REQUIRED_FIELDS + _OPTIONAL_FIELDS + ("cancel_t",)),
+}
 
 
 @dataclass(frozen=True)
@@ -96,20 +109,24 @@ def trace_record(req: Request) -> dict:
         record["dataset"] = req.dataset
     if req.skip_prefill:
         record["skip_prefill"] = True
+    if req.cancel_at is not None:
+        record["cancel_t"] = float(req.cancel_at)
     return record
 
 
 def dump_trace(requests: list[Request]) -> str:
     """Serialize requests to the JSONL trace format (arrival-ordered).
 
-    Keys are sorted so the output is canonical: loading an exported trace
-    and exporting it again reproduces the file byte for byte.
+    Keys are sorted and the header carries the *lowest* version able to
+    represent the records (2 only when a scripted cancellation is
+    present), so the output is canonical: loading an exported trace and
+    exporting it again reproduces the file byte for byte — including for
+    pre-cancellation version-1 files.
     """
     ordered = sorted(requests, key=lambda r: (r.arrival_t, r.rid))
+    version = 2 if any(r.cancel_at is not None for r in ordered) else 1
     lines = [
-        json.dumps(
-            {"format": TRACE_FORMAT, "version": TRACE_VERSION}, sort_keys=True
-        )
+        json.dumps({"format": TRACE_FORMAT, "version": version}, sort_keys=True)
     ]
     lines.extend(json.dumps(trace_record(req), sort_keys=True) for req in ordered)
     return "\n".join(lines) + "\n"
@@ -148,6 +165,7 @@ def _make_request(
     arrival_t: float,
     skip_prefill: bool,
     dataset: str,
+    cancel_t: float | None = None,
 ) -> Request:
     """Build a request from its static trace fields.
 
@@ -166,6 +184,7 @@ def _make_request(
     )
     if skip_prefill:
         req.mark_reasoning_precomputed(arrival_t)
+    req.cancel_at = cancel_t
     return req
 
 
@@ -182,18 +201,21 @@ def _require_int(obj: dict, field: str, minimum: int, path, line_no) -> int:
     return value
 
 
-def _parse_record(obj, rid_default: int, path, line_no) -> Request:
+def _parse_record(obj, rid_default: int, path, line_no, version: int = 1) -> Request:
+    allowed = _ALLOWED_FIELDS_BY_VERSION[version]
     if not isinstance(obj, dict):
         raise TraceFormatError(
             path, line_no, f"expected a JSON object, got {type(obj).__name__}"
         )
-    unknown = sorted(set(obj) - _ALLOWED_FIELDS)
+    unknown = sorted(set(obj) - allowed)
     if unknown:
+        detail = f"allowed in version {version}: {', '.join(sorted(allowed))}"
+        if unknown == ["cancel_t"] and version == 1:
+            detail = "cancel_t requires a version-2 header"
         raise TraceFormatError(
             path,
             line_no,
-            f"unknown field(s) {', '.join(map(repr, unknown))} "
-            f"(allowed: {', '.join(sorted(_ALLOWED_FIELDS))})",
+            f"unknown field(s) {', '.join(map(repr, unknown))} ({detail})",
         )
     missing = [f for f in _REQUIRED_FIELDS if f not in obj]
     if missing:
@@ -234,6 +256,20 @@ def _parse_record(obj, rid_default: int, path, line_no) -> Request:
             "skip_prefill requires reasoning_len == 0 "
             "(the reasoning KV cache is declared precomputed)",
         )
+    cancel_t = obj.get("cancel_t")
+    if cancel_t is not None:
+        if isinstance(cancel_t, bool) or not isinstance(cancel_t, (int, float)):
+            raise TraceFormatError(
+                path, line_no, f"cancel_t must be a number, got {cancel_t!r}"
+            )
+        if not math.isfinite(cancel_t) or cancel_t <= arrival_t:
+            raise TraceFormatError(
+                path,
+                line_no,
+                f"cancel_t must be finite and > arrival_t "
+                f"({arrival_t}), got {cancel_t}",
+            )
+        cancel_t = float(cancel_t)
     return _make_request(
         rid=rid,
         prompt_len=prompt_len,
@@ -242,25 +278,27 @@ def _parse_record(obj, rid_default: int, path, line_no) -> Request:
         arrival_t=float(arrival_t),
         skip_prefill=skip_prefill,
         dataset=dataset,
+        cancel_t=cancel_t,
     )
 
 
-def _parse_header(obj, path, line_no) -> None:
+def _parse_header(obj, path, line_no) -> int:
     if not isinstance(obj, dict) or obj.get("format") != TRACE_FORMAT:
         raise TraceFormatError(
             path,
             line_no,
             'first line must be the header {"format": "pascal-trace", '
-            '"version": 1}',
+            '"version": <1 or 2>}',
         )
     version = obj.get("version")
-    if version != TRACE_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise TraceFormatError(
             path,
             line_no,
-            f"unsupported trace version {version!r} "
-            f"(this reader understands version {TRACE_VERSION})",
+            f"unsupported trace version {version!r} (this reader "
+            f"understands versions {' and '.join(map(str, _SUPPORTED_VERSIONS))})",
         )
+    return version
 
 
 def iter_trace(path: str | os.PathLike):
@@ -276,7 +314,7 @@ def iter_trace(path: str | os.PathLike):
     """
     count = 0
     seen_ids: set[int] = set()
-    header_seen = False
+    version: int | None = None
     prev_arrival = 0.0
     with open(path, encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
@@ -288,12 +326,11 @@ def iter_trace(path: str | os.PathLike):
                 raise TraceFormatError(
                     path, line_no, f"invalid JSON: {exc.msg}"
                 ) from None
-            if not header_seen:
-                _parse_header(obj, path, line_no)
-                header_seen = True
+            if version is None:
+                version = _parse_header(obj, path, line_no)
                 continue
             req = _parse_record(obj, rid_default=count, path=path,
-                                line_no=line_no)
+                                line_no=line_no, version=version)
             if req.arrival_t < prev_arrival:
                 raise TraceFormatError(
                     path,
@@ -309,7 +346,7 @@ def iter_trace(path: str | os.PathLike):
             prev_arrival = req.arrival_t
             count += 1
             yield req
-    if not header_seen:
+    if version is None:
         raise TraceFormatError(path, 1, "empty trace file (missing header)")
 
 
@@ -333,9 +370,10 @@ def scale_arrival_rate(
     """Rebuild a trace with arrivals compressed by ``rate_scale``.
 
     ``rate_scale=2.0`` halves every inter-arrival gap (twice the offered
-    load); ``0.5`` doubles it.  Returns fresh :class:`Request` objects —
-    arrival time seeds the request's internal accounting clock, so it
-    cannot be patched in place.
+    load); ``0.5`` doubles it.  Scripted cancellations rescale with the
+    arrivals (the whole timeline compresses).  Returns fresh
+    :class:`Request` objects — arrival time seeds the request's internal
+    accounting clock, so it cannot be patched in place.
     """
     if not math.isfinite(rate_scale) or rate_scale <= 0:
         raise ValueError(
@@ -350,6 +388,9 @@ def scale_arrival_rate(
             arrival_t=req.arrival_t / rate_scale,
             skip_prefill=req.skip_prefill,
             dataset=req.dataset,
+            cancel_t=(
+                None if req.cancel_at is None else req.cancel_at / rate_scale
+            ),
         )
         for req in requests
     ]

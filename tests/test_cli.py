@@ -293,8 +293,9 @@ class TestServe:
         assert "admit" in captured.out
         assert "first-token" in captured.out
         assert "complete" in captured.out
-        assert "served 8 requests (0 rejected)" in captured.out
+        assert "served 8 requests (0 rejected, 0 cancelled)" in captured.out
         assert "under pascal" in captured.out
+        assert "serve: final submitted=8 completed=8" in captured.out
 
     def test_serve_quiet_prints_only_summary(self, tiny_trace, capsys):
         rc = main(["serve", "--trace", tiny_trace, "--quiet"])
@@ -311,8 +312,9 @@ class TestServe:
         assert rc == 0
         # 8 submitted = completed + rejected; with a 1-deep gate on this
         # bursty trace, at least one arrival must have been turned away.
-        assert "rejected)" in captured.out
-        assert "(0 rejected)" not in captured.out
+        assert "rejected," in captured.out
+        assert "(0 rejected," not in captured.out
+        assert "rejected=0" not in captured.out
 
     def test_serve_without_trace_exits_2(self, capsys):
         rc = main(["serve"])

@@ -69,11 +69,31 @@ def test_trace_compare_matches_golden(golden, monkeypatch):
     golden("trace-compare", result.render() + "\n")
 
 
+def test_trace_compare_cancellations_match_golden(golden, monkeypatch):
+    """Scripted cancellations replay deterministically, policy by policy.
+
+    The committed trace carries version-2 ``cancel_t`` records; the
+    pinned table proves the whole cancellation path — CANCEL events,
+    mid-epoch KV release, cancelled-vs-completed accounting, the
+    cancelled note line — reproduces byte-for-byte.
+    """
+    monkeypatch.chdir(REPO_ROOT)
+    result = trace_compare(
+        ReplayTraceConfig(path="examples/cancellation_trace.jsonl"),
+        policies=("fcfs", "pascal", "tiered-express"),
+        settings=ReplaySettings(),
+        jobs=1,
+    )
+    rendered = result.render()
+    assert "cancelled" in rendered  # the note line must actually appear
+    golden("trace-cancel", rendered + "\n")
+
+
 def test_every_golden_file_has_an_owner():
     """No orphaned goldens: each file corresponds to a live experiment."""
     if not GOLDEN_DIR.is_dir():
         pytest.skip("goldens not generated yet")
-    owners = set(ALL_EXPERIMENTS) | {"trace-compare"}
+    owners = set(ALL_EXPERIMENTS) | {"trace-compare", "trace-cancel"}
     stray = sorted(
         p.name for p in GOLDEN_DIR.glob("*.txt") if p.stem not in owners
     )

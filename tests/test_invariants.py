@@ -139,6 +139,7 @@ def test_policy_preserves_simulation_invariants(policy, shape, tuples):
             len(submitted_rids)
             == len(cluster.completed)
             + len(cluster.rejected)
+            + len(cluster.cancelled)
             + cluster.migrations.in_flight
             + on_instances
             + len(cluster.deferred())
@@ -159,6 +160,7 @@ def test_policy_preserves_simulation_invariants(policy, shape, tuples):
     assert len(submitted_rids) == len(requests)
     assert cluster.deferred() == []
     assert cluster.rejected == []
+    assert cluster.cancelled == []  # nothing here scripts a cancel
     assert cluster.all_finished()
     assert all(r.finished for r in requests)
     assert all(r.done_t is not None for r in requests)

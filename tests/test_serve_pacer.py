@@ -1,0 +1,361 @@
+"""Wall-clock pacer and length oracles, driven by a fake clock.
+
+The pacer's contract is that wall time decides *when* the engine is
+cranked, never what the simulation computes — so every test here runs on
+an injected fake clock and fake sleep: no test in this file ever sleeps
+for real, and the simulated outcomes (arrival times, cancellation
+timestamps) are asserted exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import RequestHandle, ServingSession
+from repro.config import ClusterConfig, InstanceConfig, SchedulerConfig
+from repro.perfmodel.unit import UnitPerfModel
+from repro.serve.oracle import (
+    HEADER_ANSWER,
+    HEADER_DATASET,
+    HEADER_PROMPT,
+    HEADER_REASONING,
+    HeaderOracle,
+    OracleChain,
+    OracleError,
+    SampledOracle,
+    TraceOracle,
+    default_oracle,
+    estimate_prompt_tokens,
+)
+from repro.serve.pacer import WallClockPacer, fast_forward_drain
+from repro.workload.request import Request
+from repro.workload.trace import dump_trace
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand.
+
+    Doubles as the pacer's ``sleep``: sleeping advances the clock by the
+    requested amount, so ``pacer.run(sleep=clock.sleep)`` paces an entire
+    workload without a single real wait.
+    """
+
+    def __init__(self, t: float = 100.0):
+        self.t = t
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def sleep(self, dt: float) -> None:
+        assert dt >= 0.0
+        self.sleeps.append(dt)
+        # A real monotonic clock advances on its own between calls; this
+        # one only moves when slept.  Guarantee a minimum tick so a delay
+        # that rounds below the clock's float resolution still makes
+        # progress (the pacer's delays are exact differences of sim
+        # times, which can underflow against t ~= 100).
+        self.t += max(dt, 1e-9)
+
+
+def make_session(policy: str = "pascal") -> ServingSession:
+    config = ClusterConfig(
+        n_instances=2,
+        instance=InstanceConfig(
+            kv_capacity_tokens=1024,
+            scheduler=SchedulerConfig(token_quantum=8),
+        ),
+    )
+    return ServingSession(policy=policy, config=config, perf=UnitPerfModel(0.01))
+
+
+def make_request(rid: int, arrival_t: float = 0.0, **lengths) -> Request:
+    lengths.setdefault("prompt_len", 8)
+    lengths.setdefault("reasoning_len", 50)
+    lengths.setdefault("answer_len", 10)
+    return Request(rid=rid, arrival_t=arrival_t, **lengths)
+
+
+class TestPacerClock:
+    def test_rejects_bad_time_scale(self):
+        session = make_session()
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="time_scale"):
+                WallClockPacer(session, time_scale=bad)
+
+    def test_rejects_bad_max_poll(self):
+        session = make_session()
+        with pytest.raises(ValueError, match="max_poll_s"):
+            WallClockPacer(session, max_poll_s=0.0)
+
+    def test_sim_now_requires_start(self):
+        pacer = WallClockPacer(make_session(), clock=FakeClock())
+        assert not pacer.started
+        with pytest.raises(RuntimeError, match="not started"):
+            pacer.sim_now
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        pacer = WallClockPacer(make_session(), clock=clock)
+        pacer.start()
+        clock.advance(5.0)
+        pacer.start()  # keeps the original anchor
+        assert pacer.sim_now == pytest.approx(5.0)
+
+    def test_sim_now_scales_wall_time(self):
+        clock = FakeClock()
+        pacer = WallClockPacer(make_session(), time_scale=10.0, clock=clock)
+        pacer.start()
+        clock.advance(1.5)
+        assert pacer.sim_now == pytest.approx(15.0)
+
+
+class TestPacerPoll:
+    def test_poll_reports_wall_delay_to_next_event(self):
+        clock = FakeClock()
+        session = make_session()
+        session.submit(make_request(0, arrival_t=5.0))
+        pacer = WallClockPacer(session, time_scale=2.0, clock=clock)
+        pacer.start()
+        # Next event (the arrival) is 5 simulated seconds away; at double
+        # speed that is 2.5 wall seconds.
+        assert pacer.poll() == pytest.approx(2.5)
+        assert session.now == 0.0  # nothing was due yet
+        clock.advance(2.5)
+        delay = pacer.poll()
+        assert session.n_submitted == 1
+        assert delay is not None  # decode events now pending
+
+    def test_poll_runs_only_events_that_are_due(self):
+        clock = FakeClock()
+        session = make_session()
+        session.submit(make_request(0, arrival_t=0.0))
+        pacer = WallClockPacer(session, clock=clock)
+        pacer.start()
+        clock.advance(0.2)
+        pacer.poll()
+        frozen = session.now
+        assert frozen <= 0.2  # the engine never outruns the wall clock
+        # Without wall progress another poll is a no-op.
+        pacer.poll()
+        assert session.now == frozen
+
+    def test_poll_returns_none_when_idle(self):
+        pacer = WallClockPacer(make_session(), clock=FakeClock())
+        pacer.start()
+        assert pacer.poll() is None
+        assert pacer.idle()
+        assert pacer.finished()
+
+
+class TestPacerRun:
+    def test_run_drains_workload_without_real_sleeps(self):
+        clock = FakeClock()
+        session = make_session()
+        for i in range(4):
+            session.submit(make_request(i, arrival_t=0.25 * i))
+        pacer = WallClockPacer(session, max_poll_s=0.25, clock=clock)
+        polls = pacer.run(sleep=clock.sleep)
+        assert polls > 0
+        assert session.cluster.all_finished()
+        assert session.n_completed == 4
+        # The wall clock advanced at least to the last simulated event.
+        final = max(r.done_t for r in session.cluster.completed)
+        assert clock.t - 100.0 >= final
+        # Every sleep respected the poll cap.
+        assert all(dt <= 0.25 for dt in clock.sleeps)
+
+    def test_run_honours_should_stop(self):
+        clock = FakeClock()
+        session = make_session()
+        session.submit(make_request(0, arrival_t=10.0))
+        pacer = WallClockPacer(session, clock=clock)
+        polls = pacer.run(sleep=clock.sleep, should_stop=lambda: True)
+        assert polls == 0
+        assert not session.cluster.all_finished()
+
+    def test_time_scale_compresses_wall_time(self):
+        clock = FakeClock()
+        session = make_session()
+        session.submit(make_request(0, arrival_t=0.0))
+        pacer = WallClockPacer(session, time_scale=100.0, clock=clock)
+        pacer.run(sleep=clock.sleep)
+        assert session.cluster.all_finished()
+        done_t = session.cluster.completed[0].done_t
+        wall = clock.t - 100.0
+        # 100x speed: the wall run is about a hundredth of simulated time
+        # (plus at most one poll-cap sleep of slack).
+        assert wall < done_t / 100.0 + 0.3
+
+
+class TestPacerLiveInjection:
+    def test_live_submit_and_cancel_timestamps(self):
+        clock = FakeClock()
+        session = make_session()
+        pacer = WallClockPacer(session, clock=clock)
+        pacer.start()
+        clock.advance(0.5)
+        handle = pacer.submit(
+            make_request(1, arrival_t=pacer.sim_now, reasoning_len=200)
+        )
+        pacer.poll()
+        clock.advance(0.5)
+        pacer.poll()
+        assert pacer.cancel(handle) is True
+        pacer.run(sleep=clock.sleep)
+        assert handle.status == RequestHandle.CANCELLED
+        # The cancel was stamped at the wall instant it was requested.
+        assert handle.request.cancelled_t == pytest.approx(1.0)
+        assert handle.request.arrival_t == pytest.approx(0.5)
+        assert session.n_cancelled == 1
+
+    def test_cancel_after_completion_returns_false(self):
+        clock = FakeClock()
+        session = make_session()
+        pacer = WallClockPacer(session, clock=clock)
+        pacer.start()
+        handle = pacer.submit(
+            make_request(1, arrival_t=0.0, reasoning_len=5, answer_len=5)
+        )
+        pacer.run(sleep=clock.sleep)
+        assert handle.status == RequestHandle.COMPLETED
+        assert pacer.cancel(handle) is False
+
+
+class TestFastForwardDrain:
+    def test_drains_and_cuts_intake(self):
+        clock = FakeClock()
+        session = make_session()
+        session.attach(
+            make_request(i, arrival_t=float(i)) for i in range(1000)
+        )
+        session.step(until=2.5)
+        assert fast_forward_drain(session, 30.0, clock=clock) is True
+        assert session.cluster.all_finished()
+        # The source tail was never ingested after the cut.
+        assert session.n_submitted < 10
+
+    def test_deadline_bounds_the_drain(self):
+        # Each clock() call is one chunk boundary; advancing the fake
+        # clock past the deadline after the first chunk must stop the
+        # drain with work still in flight.
+        class TickingClock(FakeClock):
+            def __call__(self) -> float:
+                self.t += 1.0
+                return self.t
+
+        session = make_session()
+        session.submit(make_request(0, reasoning_len=500, answer_len=100))
+        settled = fast_forward_drain(
+            session, 0.5, clock=TickingClock(), chunk_events=1
+        )
+        assert settled is False
+        assert not session.cluster.all_finished()
+
+
+class TestHeaderOracle:
+    def test_declines_without_length_headers(self):
+        assert HeaderOracle().resolve(1, 0.0, {}, {}) is None
+
+    def test_resolves_with_defaults(self):
+        headers = {HEADER_REASONING: "128"}
+        payload = {"messages": [{"role": "user", "content": "x" * 40}]}
+        req = HeaderOracle().resolve(7, 1.5, headers, payload)
+        assert req is not None
+        assert req.rid == 7
+        assert req.arrival_t == 1.5
+        assert req.reasoning_len == 128
+        assert req.answer_len == HeaderOracle.DEFAULT_ANSWER_TOKENS
+        assert req.prompt_len == 10  # 40 chars / 4
+        assert req.dataset == "http"
+
+    def test_explicit_headers_win(self):
+        headers = {
+            HEADER_PROMPT: "32",
+            HEADER_REASONING: "0",
+            HEADER_ANSWER: "16",
+            HEADER_DATASET: "load-test",
+        }
+        req = HeaderOracle().resolve(1, 0.0, headers, {})
+        assert (req.prompt_len, req.reasoning_len, req.answer_len) == (
+            32, 0, 16,
+        )
+        assert req.dataset == "load-test"
+
+    def test_junk_header_raises(self):
+        with pytest.raises(OracleError, match="integer"):
+            HeaderOracle().resolve(1, 0.0, {HEADER_ANSWER: "many"}, {})
+
+    def test_below_minimum_raises(self):
+        with pytest.raises(OracleError, match=">= 1"):
+            HeaderOracle().resolve(1, 0.0, {HEADER_ANSWER: "0"}, {})
+
+    def test_estimate_prompt_tokens_floor(self):
+        assert estimate_prompt_tokens({}) == 1
+        assert estimate_prompt_tokens(
+            {"messages": [{"content": "abcd" * 25}]}
+        ) == 25
+
+
+class TestTraceOracle:
+    def test_cycles_trace_shapes(self, tmp_path):
+        shapes = [
+            Request(rid=0, prompt_len=11, reasoning_len=7, answer_len=3,
+                    arrival_t=0.0, dataset="a"),
+            Request(rid=1, prompt_len=22, reasoning_len=14, answer_len=6,
+                    arrival_t=1.0, dataset="b"),
+        ]
+        shapes[1].cancel_at = 2.0  # scripted cancels in the file are ignored
+        path = tmp_path / "shapes.jsonl"
+        path.write_text(dump_trace(shapes))
+        oracle = TraceOracle(str(path))
+        got = [oracle.resolve(100 + i, 0.5 * i, {}, {}) for i in range(3)]
+        assert [r.prompt_len for r in got] == [11, 22, 11]  # wraps around
+        assert [r.rid for r in got] == [100, 101, 102]  # live ids, not file ids
+        assert [r.arrival_t for r in got] == [0.0, 0.5, 1.0]  # live clock
+        assert all(r.cancel_at is None for r in got)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"format": "pascal-trace", "version": 1}\n')
+        with pytest.raises(ValueError, match="no requests"):
+            TraceOracle(str(path))
+
+
+class TestSampledOracle:
+    def test_same_seed_same_sequence(self):
+        a = SampledOracle("alpaca-eval-2.0", seed=3)
+        b = SampledOracle("alpaca-eval-2.0", seed=3)
+        for i in range(5):
+            ra = a.resolve(i, 0.1 * i, {}, {})
+            rb = b.resolve(i, 0.1 * i, {}, {})
+            assert (ra.prompt_len, ra.reasoning_len, ra.answer_len) == (
+                rb.prompt_len, rb.reasoning_len, rb.answer_len,
+            )
+
+    def test_reasoning_heavy_mix_alias(self):
+        req = SampledOracle("reasoning-heavy-mix", seed=0).resolve(
+            0, 0.0, {}, {}
+        )
+        assert req is not None
+        assert req.prompt_len >= 1
+
+
+class TestOracleChain:
+    def test_first_claim_wins(self):
+        oracle = default_oracle(seed=0)
+        headed = oracle.resolve(0, 0.0, {HEADER_ANSWER: "9"}, {})
+        assert headed.answer_len == 9
+        sampled = oracle.resolve(1, 0.0, {}, {})
+        assert sampled is not None  # fell through to the sampler
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(OracleError, match="no oracle claimed"):
+            OracleChain((HeaderOracle(),)).resolve(0, 0.0, {}, {})
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OracleChain(())
